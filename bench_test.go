@@ -1,0 +1,110 @@
+package ssync
+
+import (
+	"testing"
+
+	"ssync/internal/exp"
+)
+
+// One benchmark per paper table/figure. Each regenerates its experiment
+// through the same code paths as `cmd/experiments`; benches default to the
+// quick grid so `go test -bench=.` stays tractable — run
+// `cmd/experiments -run figN` (no -quick) for the full paper-scale rows.
+
+var quickOpt = exp.Options{Quick: true}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(name, quickOpt); err != nil {
+			b.Fatal(err)
+		}
+		// The comparison grid memoises per scale; clear it so each
+		// iteration measures real work.
+		exp.ResetCaches()
+	}
+}
+
+func BenchmarkTable1OperationTimes(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2Benchmarks(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkFig8Shuttles(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9Swaps(b *testing.B)            { benchExperiment(b, "fig9") }
+func BenchmarkFig10SuccessRate(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11Topology(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12Mapping(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkFig13GateImpl(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14Sensitivity(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15CompileTime(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkFig16Optimality(b *testing.B)      { benchExperiment(b, "fig16") }
+
+// Component micro-benchmarks: the compiler and simulator hot paths.
+
+func BenchmarkCompileQFT24G2x3(b *testing.B) {
+	c := QFT(24)
+	topo := GridDevice(2, 3, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(DefaultCompileConfig(), c, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileAdder32L4(b *testing.B) {
+	c := Adder(32)
+	topo := LinearDevice(4, 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(DefaultCompileConfig(), c, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileMuraliQFT24(b *testing.B) {
+	c := QFT(24)
+	topo := GridDevice(2, 3, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileMurali(c, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateQFT24(b *testing.B) {
+	c := QFT(24)
+	topo := GridDevice(2, 3, 17)
+	res, err := Compile(DefaultCompileConfig(), c, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(res.Schedule, topo, DefaultSimOptions())
+	}
+}
+
+func BenchmarkStateVectorQFT12(b *testing.B) {
+	c := QFT(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifySchedule(c, mustCompile(b, c).Schedule, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustCompile(b *testing.B, c *Circuit) *CompileResult {
+	b.Helper()
+	res, err := Compile(DefaultCompileConfig(), c, GridDevice(2, 2, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }

@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table2
+//	experiments -run fig8
+//	experiments -run all -quick
+//
+// Full-scale runs reproduce the paper's settings (Sec. 4.2); -quick runs a
+// reduced grid through the same code paths in a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ssync"
+)
+
+func main() {
+	var (
+		name   = flag.String("run", "all", "experiment: table1, table2, fig8..fig16, ablation or all")
+		quick  = flag.Bool("quick", false, "reduced-scale run")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	start := time.Now()
+	opt := ssync.ExperimentOptions{Quick: *quick}
+	var out string
+	var err error
+	switch *format {
+	case "text":
+		out, err = ssync.RunExperiment(*name, opt)
+	case "csv":
+		out, err = ssync.RunExperimentCSV(*name, opt)
+	default:
+		err = fmt.Errorf("unknown format %q (want text or csv)", *format)
+	}
+	if out != "" {
+		fmt.Print(out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *format == "text" {
+		fmt.Printf("\n[%s completed in %s]\n", *name, time.Since(start).Round(time.Millisecond))
+	}
+}

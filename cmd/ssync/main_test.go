@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBenchmark(t *testing.T) {
+	if err := run("QFT_12", "", "G-2x2", 6, "ssync", "gathering", "FM", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQASMFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.qasm")
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "L-4", 3, "ssync", "even-divided", "AM2", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineCompilers(t *testing.T) {
+	for _, comp := range []string{"murali", "dai"} {
+		if err := run("BV_8", "", "L-4", 4, comp, "gathering", "PM", false, false); err != nil {
+			t.Fatalf("%s: %v", comp, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name                    string
+		bench, qasm, topo       string
+		cap                     int
+		compiler, mapping, gate string
+	}{
+		{"no input", "", "", "L-4", 4, "ssync", "gathering", "FM"},
+		{"both inputs", "QFT_8", "x.qasm", "L-4", 4, "ssync", "gathering", "FM"},
+		{"bad bench", "ZAP_8", "", "L-4", 4, "ssync", "gathering", "FM"},
+		{"bad topo", "QFT_8", "", "Q-9", 4, "ssync", "gathering", "FM"},
+		{"bad compiler", "QFT_8", "", "L-4", 4, "wizard", "gathering", "FM"},
+		{"bad mapping", "QFT_8", "", "L-4", 4, "ssync", "psychic", "FM"},
+		{"bad gate", "QFT_8", "", "L-4", 4, "ssync", "gathering", "ZM"},
+		{"missing qasm file", "", "/nonexistent/x.qasm", "L-4", 4, "ssync", "gathering", "FM"},
+		{"too small device", "QFT_24", "", "L-4", 2, "ssync", "gathering", "FM"},
+	}
+	for _, tc := range cases {
+		if err := run(tc.bench, tc.qasm, tc.topo, tc.cap, tc.compiler, tc.mapping, tc.gate, false, false); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package baseline reimplements the two prior-work QCCD compilers S-SYNC
+// is evaluated against (Figs. 8–10):
+//
+//   - Murali et al., "Architecting noisy intermediate-scale trapped ion
+//     quantum computers" (ISCA 2020): greedy first-use-ordered placement
+//     with two reserved free slots per trap (Obs. 3) and forward,
+//     no-lookahead routing — each blocked gate moves its first qubit to
+//     its partner's trap, SWAP-ping it to the trap edge first.
+//
+//   - Dai et al., "Advanced shuttle strategies for parallel QCCD
+//     architectures" (IEEE TQE 2024): cost-based endpoint selection
+//     (edge-distance + path weight + destination occupancy),
+//     meet-in-the-middle moves for distant pairs, and cheapest-first
+//     ordering of blocked gates.
+//
+// Neither reference implementation is public in a reusable form; both are
+// rebuilt from their published descriptions (see DESIGN.md, substitutions).
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/mapping"
+	"ssync/internal/router"
+	"ssync/internal/schedule"
+)
+
+// CompileMurali schedules c on topo with the Murali et al. policy.
+func CompileMurali(c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
+	start := time.Now()
+	basis := c.DecomposeToBasis()
+	place, err := placeSequential(basis, topo, 2)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Initial: place.Clone()}
+	em := &router.Emitter{Topo: topo, P: place, S: schedule.New(basis.NumQubits)}
+	dag := circuit.NewDAG(basis)
+	for !dag.Done() {
+		if executeReady(dag, em) {
+			continue
+		}
+		blocked := dag.FrontierTwoQubit()
+		if len(blocked) == 0 {
+			return nil, fmt.Errorf("baseline: internal deadlock")
+		}
+		g := dag.Gate(blocked[0])
+		mover, target := chooseMuraliMove(em.P, g)
+		other := g.Qubits[0] + g.Qubits[1] - mover
+		if err := em.RouteToTrap(mover, target, other); err != nil {
+			return nil, err
+		}
+	}
+	finish(res, em, start)
+	return res, nil
+}
+
+// chooseMuraliMove always moves the gate's first qubit unless its partner's
+// trap is full while its own is not — the reference router's only
+// adaptivity.
+func chooseMuraliMove(p *device.Placement, g circuit.Gate) (mover, target int) {
+	q0, q1 := g.Qubits[0], g.Qubits[1]
+	t0, t1 := p.Where(q0).Trap, p.Where(q1).Trap
+	if !p.HasSpace(t1) && p.HasSpace(t0) {
+		return q1, t0
+	}
+	return q0, t1
+}
+
+// CompileDai schedules c on topo with the Dai et al. strategy.
+func CompileDai(c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
+	start := time.Now()
+	basis := c.DecomposeToBasis()
+	place, err := placeSequential(basis, topo, 2)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Initial: place.Clone()}
+	em := &router.Emitter{Topo: topo, P: place, S: schedule.New(basis.NumQubits)}
+	dag := circuit.NewDAG(basis)
+	for !dag.Done() {
+		if executeReady(dag, em) {
+			continue
+		}
+		blocked := dag.FrontierTwoQubit()
+		if len(blocked) == 0 {
+			return nil, fmt.Errorf("baseline: internal deadlock")
+		}
+		gid := cheapestBlocked(em.P, dag, blocked)
+		g := dag.Gate(gid)
+		if err := daiRoute(em, g); err != nil {
+			return nil, err
+		}
+	}
+	finish(res, em, start)
+	return res, nil
+}
+
+// cheapestBlocked picks the blocked gate with the lowest movement cost —
+// Dai's cheapest-first shuttle ordering.
+func cheapestBlocked(p *device.Placement, dag *circuit.DAG, blocked []int) int {
+	best, bestCost := blocked[0], 0.0
+	for i, gid := range blocked {
+		g := dag.Gate(gid)
+		c := moveCost(p, g.Qubits[0], p.Where(g.Qubits[1]).Trap)
+		if c2 := moveCost(p, g.Qubits[1], p.Where(g.Qubits[0]).Trap); c2 < c {
+			c = c2
+		}
+		if i == 0 || c < bestCost {
+			best, bestCost = gid, c
+		}
+	}
+	return best
+}
+
+// moveCost prices moving q into trap target: weighted path distance, SWAPs
+// to reach the exit edge, and destination crowding.
+func moveCost(p *device.Placement, q, target int) float64 {
+	topo := p.Topology()
+	l := p.Where(q)
+	if l.Trap == target {
+		return 0
+	}
+	cost := topo.TrapDistance(l.Trap, target)
+	if segID := topo.NextSegment(l.Trap, target); segID >= 0 {
+		seg := topo.Segments[segID]
+		cost += 0.001 * float64(p.SwapsToEnd(l.Trap, l.Slot, seg.EndAt(l.Trap)))
+	}
+	cost += float64(p.IonCount(target)) / float64(topo.Traps[target].Capacity)
+	if !p.HasSpace(target) {
+		cost += 1
+	}
+	return cost
+}
+
+// daiRoute brings the gate's qubits together: cheaper endpoint moves, or
+// both meet in a middle trap when that is strictly cheaper.
+func daiRoute(em *router.Emitter, g circuit.Gate) error {
+	p, topo := em.P, em.Topo
+	q0, q1 := g.Qubits[0], g.Qubits[1]
+	t0, t1 := p.Where(q0).Trap, p.Where(q1).Trap
+
+	c01 := moveCost(p, q0, t1)
+	c10 := moveCost(p, q1, t0)
+	bestCost := c01
+	mover, target, meet := q0, t1, -1
+	if c10 < bestCost {
+		bestCost, mover, target = c10, q1, t0
+	}
+	// Meet-in-the-middle: only worthwhile for pairs >= 2 hops apart.
+	if len(topo.TrapPath(t0, t1)) >= 2 {
+		for m := 0; m < topo.NumTraps(); m++ {
+			if m == t0 || m == t1 || p.IonCount(m)+2 > topo.Traps[m].Capacity {
+				continue
+			}
+			if c := moveCost(p, q0, m) + moveCost(p, q1, m); c < bestCost {
+				bestCost, meet = c, m
+			}
+		}
+	}
+	if meet >= 0 {
+		if err := em.RouteToTrap(q0, meet, q1); err != nil {
+			return err
+		}
+		return em.RouteToTrap(q1, meet, q0)
+	}
+	other := q0 + q1 - mover
+	return em.RouteToTrap(mover, target, other)
+}
+
+// placeSequential is the baselines' shared initial mapping: first-use
+// qubit order, packed into traps with `reserve` slots kept free at the
+// trap ends (Obs. 3's fixed free spaces), no intra-trap optimisation.
+func placeSequential(c *circuit.Circuit, topo *device.Topology, reserve int) (*device.Placement, error) {
+	order := mapping.FirstUseOrder(c)
+	trapOf, err := mapping.AssignPacked(order, topo, reserve)
+	if err != nil {
+		return nil, err
+	}
+	p := device.NewPlacement(topo, c.NumQubits)
+	next := make([]int, topo.NumTraps())
+	for tr := range next {
+		// Leave slot 0 free when the trap has room to spare, mirroring the
+		// reference's reserved shuttling slots at the edges.
+		next[tr] = 1
+	}
+	counts := make([]int, topo.NumTraps())
+	for _, q := range order {
+		counts[trapOf[q]]++
+	}
+	for tr, n := range counts {
+		if n >= topo.Traps[tr].Capacity {
+			next[tr] = 0 // no spare room; fill from the left edge
+		}
+	}
+	for _, q := range order {
+		tr := trapOf[q]
+		if err := p.Place(q, tr, next[tr]); err != nil {
+			return nil, err
+		}
+		next[tr]++
+	}
+	return p, nil
+}
+
+// executeReady drains executable frontier gates (shared by both baselines).
+func executeReady(dag *circuit.DAG, em *router.Emitter) bool {
+	ran := false
+	for {
+		progress := false
+		frontier := append([]int(nil), dag.Frontier()...)
+		for _, id := range frontier {
+			g := dag.Gate(id)
+			if !em.Executable(g) {
+				continue
+			}
+			if err := em.ExecuteGate(g); err != nil {
+				panic(fmt.Sprintf("baseline: executable gate failed: %v", err))
+			}
+			dag.Complete(id)
+			progress = true
+			ran = true
+		}
+		if !progress {
+			return ran
+		}
+	}
+}
+
+func finish(res *core.Result, em *router.Emitter, start time.Time) {
+	res.Schedule = em.S
+	res.Final = em.P
+	res.Counts = em.S.Counts()
+	res.CompileTime = time.Since(start)
+}

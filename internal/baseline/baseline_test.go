@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/sim"
+	"ssync/internal/workloads"
+)
+
+func TestMuraliCompilesQFT(t *testing.T) {
+	topo := device.Grid(2, 2, 6)
+	c := workloads.QFT(12)
+	res, err := CompileMurali(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.TwoQubit != c.TwoQubitCount() {
+		t.Errorf("2Q executed = %d, want %d", res.Counts.TwoQubit, c.TwoQubitCount())
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaiCompilesQFT(t *testing.T) {
+	topo := device.Grid(2, 2, 6)
+	c := workloads.QFT(12)
+	res, err := CompileDai(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.TwoQubit != c.TwoQubitCount() {
+		t.Errorf("2Q executed = %d, want %d", res.Counts.TwoQubit, c.TwoQubitCount())
+	}
+}
+
+func TestPlaceSequentialReservesSlots(t *testing.T) {
+	topo := device.Linear(3, 6)
+	c := workloads.QFT(12)
+	p, err := placeSequential(c, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 qubits / (6-2) per trap = 3 traps of 4 ions each.
+	for tr := 0; tr < 3; tr++ {
+		if got := p.IonCount(tr); got != 4 {
+			t.Errorf("trap %d ions = %d, want 4", tr, got)
+		}
+		// Edge slot 0 reserved for shuttling.
+		if p.At(tr, 0) != device.Empty {
+			t.Errorf("trap %d slot 0 occupied; reserved edge expected", tr)
+		}
+	}
+}
+
+func TestBaselinesPreserveSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo := []*device.Topology{
+			device.Linear(2, 5), device.Grid(2, 2, 4), device.Star(4, 4),
+		}[r.Intn(3)]
+		nq := 3 + r.Intn(4)
+		c := circuit.NewCircuit(nq)
+		for i := 0; i < 4+r.Intn(20); i++ {
+			a := r.Intn(nq)
+			b := r.Intn(nq - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+		for _, compile := range []func(*circuit.Circuit, *device.Topology) (*core.Result, error){
+			CompileMurali, CompileDai,
+		} {
+			res, err := compile(c, topo)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := sim.VerifySchedule(c, res.Schedule, seed); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSyncBeatsMuraliOnShuttles(t *testing.T) {
+	// The paper's headline (Fig. 8): S-SYNC needs fewer shuttles than the
+	// Murali baseline. Verify the direction on a mid-size QFT.
+	topo := device.Grid(2, 3, 6)
+	c := workloads.QFT(20)
+	mur, err := CompileMurali(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.Compile(core.DefaultConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Counts.Shuttles > mur.Counts.Shuttles {
+		t.Errorf("S-SYNC shuttles (%d) > Murali shuttles (%d) — expected improvement",
+			ss.Counts.Shuttles, mur.Counts.Shuttles)
+	}
+	t.Logf("shuttles: murali=%d dai-see-below ssync=%d", mur.Counts.Shuttles, ss.Counts.Shuttles)
+}
+
+func TestDaiBetweenMuraliAndSSync(t *testing.T) {
+	// Dai's strategies should not be worse than Murali on shuttles for a
+	// communication-heavy workload (directional, not exact).
+	topo := device.Grid(2, 3, 6)
+	c := workloads.QFT(20)
+	mur, err := CompileMurali(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dai, err := CompileDai(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dai.Counts.Shuttles > mur.Counts.Shuttles*3/2 {
+		t.Errorf("Dai shuttles (%d) far exceed Murali (%d)", dai.Counts.Shuttles, mur.Counts.Shuttles)
+	}
+	t.Logf("shuttles: murali=%d dai=%d", mur.Counts.Shuttles, dai.Counts.Shuttles)
+}
+
+func TestBaselineOverCapacity(t *testing.T) {
+	topo := device.Linear(2, 3)
+	c := workloads.QFT(10)
+	if _, err := CompileMurali(c, topo); err == nil {
+		t.Error("Murali accepted over-capacity circuit")
+	}
+	if _, err := CompileDai(c, topo); err == nil {
+		t.Error("Dai accepted over-capacity circuit")
+	}
+}

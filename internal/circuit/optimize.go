@@ -1,0 +1,163 @@
+package circuit
+
+import "math"
+
+// Optimize applies peephole simplifications until a fixed point:
+//
+//   - adjacent self-inverse gate pairs on the same wires cancel
+//     (h·h, x·x, y·y, z·z, cx·cx, cz·cz, swap·swap),
+//   - adjacent inverse pairs cancel (s·sdg, t·tdg, sx·sxdg),
+//   - consecutive rotations about the same axis on one wire merge
+//     (rz·rz, rx·rx, ry·ry, u1/p·u1/p), dropping merged zero rotations,
+//   - identity gates (id, zero-angle rotations) are removed.
+//
+// Barriers block all motion across them. The result is unitarily
+// equivalent to the input (machine-checked by property tests against the
+// state-vector simulator).
+func Optimize(c *Circuit) *Circuit {
+	gates := append([]Gate(nil), c.Gates...)
+	for {
+		next, changed := optimizePass(gates, c.NumQubits)
+		gates = next
+		if !changed {
+			break
+		}
+	}
+	out := NewCircuit(c.NumQubits)
+	out.Name = c.Name
+	out.Gates = gates
+	return out
+}
+
+var selfInverse = map[string]bool{
+	"h": true, "x": true, "y": true, "z": true,
+	"cx": true, "cz": true, "swap": true,
+}
+
+var inversePairs = map[string]string{
+	"s": "sdg", "sdg": "s",
+	"t": "tdg", "tdg": "t",
+	"sx": "sxdg", "sxdg": "sx",
+}
+
+var mergeableRotation = map[string]bool{
+	"rx": true, "ry": true, "rz": true, "u1": true, "p": true,
+}
+
+const angleEps = 1e-12
+
+// optimizePass performs one left-to-right sweep. For every gate it finds
+// the previous gate still pending on the same wires; if the two cancel or
+// merge, both are rewritten in place.
+func optimizePass(gates []Gate, numQubits int) ([]Gate, bool) {
+	keep := make([]bool, len(gates))
+	for i := range keep {
+		keep[i] = true
+	}
+	// lastOn[q] = index of the latest kept gate touching wire q.
+	lastOn := make([]int, numQubits)
+	for i := range lastOn {
+		lastOn[i] = -1
+	}
+	changed := false
+	angles := make([]float64, len(gates))
+	for i, g := range gates {
+		if len(g.Params) == 1 {
+			angles[i] = g.Params[0]
+		}
+	}
+
+	for i, g := range gates {
+		if g.Name == "barrier" || g.Name == "measure" || g.Name == "reset" {
+			for _, q := range g.Qubits {
+				lastOn[q] = i
+			}
+			continue
+		}
+		// Identity elimination.
+		if g.Name == "id" || (mergeableRotation[g.Name] && math.Abs(math.Mod(angles[i], 4*math.Pi)) < angleEps) {
+			keep[i] = false
+			changed = true
+			continue
+		}
+		// Find the unique predecessor across all wires, if any.
+		prev := -1
+		samePrev := true
+		for _, q := range g.Qubits {
+			if lastOn[q] < 0 {
+				samePrev = false
+				break
+			}
+			if prev < 0 {
+				prev = lastOn[q]
+			} else if lastOn[q] != prev {
+				samePrev = false
+				break
+			}
+		}
+		matched := false
+		if samePrev && prev >= 0 && keep[prev] {
+			pg := gates[prev]
+			if sameWires(pg.Qubits, g.Qubits) {
+				switch {
+				case selfInverse[g.Name] && pg.Name == g.Name:
+					keep[prev], keep[i] = false, false
+					matched, changed = true, true
+				case inversePairs[g.Name] == pg.Name:
+					keep[prev], keep[i] = false, false
+					matched, changed = true, true
+				case mergeableRotation[g.Name] && pg.Name == g.Name:
+					merged := angles[prev] + angles[i]
+					keep[prev] = false
+					changed = true
+					if math.Abs(math.Mod(merged, 4*math.Pi)) < angleEps {
+						keep[i] = false
+						matched = true
+					} else {
+						angles[i] = merged
+					}
+				}
+			}
+		}
+		if matched {
+			// Both gates vanished: the wires' last gate reverts to whatever
+			// preceded prev; conservatively reset so no further merging
+			// happens across the hole this sweep (the next pass catches it).
+			for _, q := range g.Qubits {
+				lastOn[q] = -1
+			}
+			continue
+		}
+		if keep[i] {
+			for _, q := range g.Qubits {
+				lastOn[q] = i
+			}
+		}
+	}
+
+	var out []Gate
+	for i, g := range gates {
+		if !keep[i] {
+			continue
+		}
+		if mergeableRotation[g.Name] && len(g.Params) == 1 && angles[i] != g.Params[0] {
+			g = Gate{Name: g.Name, Qubits: g.Qubits, Params: []float64{angles[i]}}
+		}
+		out = append(out, g)
+	}
+	return out, changed
+}
+
+// sameWires reports equal wire lists (cx is direction-sensitive, so order
+// matters; swap/cz are symmetric and also match reversed).
+func sameWires(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

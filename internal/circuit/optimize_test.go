@@ -1,0 +1,125 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimizeCancelsSelfInverse(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0).H(0).CX(0, 1).CX(0, 1).X(1).X(1)
+	o := Optimize(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates after optimize = %d, want 0: %v", len(o.Gates), o.Gates)
+	}
+}
+
+func TestOptimizeCancelsInversePairs(t *testing.T) {
+	c := NewCircuit(1)
+	c.S(0).Sdg(0).T(0).Tdg(0)
+	o := Optimize(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates = %d, want 0", len(o.Gates))
+	}
+}
+
+func TestOptimizeMergesRotations(t *testing.T) {
+	c := NewCircuit(1)
+	c.RZ(0.3, 0).RZ(0.4, 0)
+	o := Optimize(c)
+	if len(o.Gates) != 1 {
+		t.Fatalf("gates = %d, want 1", len(o.Gates))
+	}
+	if math.Abs(o.Gates[0].Params[0]-0.7) > 1e-12 {
+		t.Errorf("merged angle = %g, want 0.7", o.Gates[0].Params[0])
+	}
+	// Rotations summing to zero vanish entirely.
+	c2 := NewCircuit(1)
+	c2.RX(0.5, 0).RX(-0.5, 0)
+	if o2 := Optimize(c2); len(o2.Gates) != 0 {
+		t.Errorf("zero-sum rotations survived: %v", o2.Gates)
+	}
+}
+
+func TestOptimizeDropsIdentity(t *testing.T) {
+	c := NewCircuit(1)
+	c.Append(New("id", []int{0}))
+	c.RZ(0, 0)
+	if o := Optimize(c); len(o.Gates) != 0 {
+		t.Errorf("identity gates survived: %v", o.Gates)
+	}
+}
+
+func TestOptimizeRespectsInterveningGates(t *testing.T) {
+	// h · x · h must NOT cancel the h pair (x intervenes on the wire).
+	c := NewCircuit(1)
+	c.H(0).X(0).H(0)
+	if o := Optimize(c); len(o.Gates) != 3 {
+		t.Errorf("gates = %d, want 3: %v", len(o.Gates), o.Gates)
+	}
+	// cx · h(target) · cx must not cancel.
+	c2 := NewCircuit(2)
+	c2.CX(0, 1).H(1).CX(0, 1)
+	if o := Optimize(c2); len(o.Gates) != 3 {
+		t.Errorf("gates = %d, want 3: %v", len(o.Gates), o.Gates)
+	}
+	// But a spectator wire doesn't block: cx(0,1) · h(2) · cx(0,1) -> h(2).
+	c3 := NewCircuit(3)
+	c3.CX(0, 1).H(2).CX(0, 1)
+	if o := Optimize(c3); len(o.Gates) != 1 || o.Gates[0].Name != "h" {
+		t.Errorf("spectator case: %v", o.Gates)
+	}
+}
+
+func TestOptimizeDirectionSensitive(t *testing.T) {
+	// cx(0,1) · cx(1,0) is NOT identity.
+	c := NewCircuit(2)
+	c.CX(0, 1).CX(1, 0)
+	if o := Optimize(c); len(o.Gates) != 2 {
+		t.Errorf("reversed cx pair cancelled: %v", o.Gates)
+	}
+}
+
+func TestOptimizeBarrierBlocks(t *testing.T) {
+	c := NewCircuit(1)
+	c.H(0).Barrier(0).H(0)
+	if o := Optimize(c); len(o.Gates) != 3 {
+		t.Errorf("optimization crossed a barrier: %v", o.Gates)
+	}
+}
+
+func TestOptimizeCascades(t *testing.T) {
+	// x · h · h · x: inner pair cancels, exposing the outer pair.
+	c := NewCircuit(1)
+	c.X(0).H(0).H(0).X(0)
+	if o := Optimize(c); len(o.Gates) != 0 {
+		t.Errorf("cascade not fully reduced: %v", o.Gates)
+	}
+}
+
+func TestOptimizeKeepsMeasure(t *testing.T) {
+	c := NewCircuit(1)
+	c.H(0).Measure(0)
+	if o := Optimize(c); len(o.Gates) != 2 {
+		t.Errorf("measure mangled: %v", o.Gates)
+	}
+	// Gates across a measurement must not merge.
+	c2 := NewCircuit(1)
+	c2.H(0).Measure(0)
+	c2.H(0)
+	if o := Optimize(c2); len(o.Gates) != 3 {
+		t.Errorf("optimization crossed a measurement: %v", o.Gates)
+	}
+}
+
+func TestOptimizeRealisticShrinks(t *testing.T) {
+	// rzz decompositions surround rz with cx pairs; consecutive rzz on the
+	// same bond expose cx·cx cancellations after decomposition.
+	c := NewCircuit(2)
+	c.RZZ(0.2, 0, 1).RZZ(0.3, 0, 1)
+	d := c.DecomposeToBasis()
+	o := Optimize(d)
+	if len(o.Gates) >= len(d.Gates) {
+		t.Errorf("no shrink: %d -> %d gates", len(d.Gates), len(o.Gates))
+	}
+}

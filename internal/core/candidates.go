@@ -1,0 +1,202 @@
+package core
+
+import (
+	"ssync/internal/device"
+)
+
+// moveKind classifies a generic swap by the node types it interchanges
+// (Sec. 3.1 rules 2–4).
+type moveKind int
+
+const (
+	// moveSwap interchanges two adjacent qubit nodes in one trap: costs a
+	// SWAP gate.
+	moveSwap moveKind = iota
+	// moveShift interchanges an adjacent qubit/space pair in one trap: a
+	// free ion reposition (rule 4).
+	moveShift
+	// moveShuttle interchanges a qubit node at a trap end with the space
+	// node across a segment: split + move (+ junctions) + merge (rule 3).
+	moveShuttle
+)
+
+// move is one candidate generic swap.
+type move struct {
+	kind moveKind
+	trap int // swap/shift: trap id
+	i, j int // swap/shift: slots interchanged
+	seg  int // shuttle: segment id
+	from int // shuttle: source trap
+}
+
+// key dedupes candidates.
+func (m move) key() [5]int { return [5]int{int(m.kind), m.trap, m.i, m.j, m.seg*64 + m.from} }
+
+// weight returns the generic-swap edge weight w(swap) of Eq. 1.
+func (m move) weight(cfg Config, topo *device.Topology) float64 {
+	if m.kind == moveShuttle {
+		return cfg.ShuttleWeight * device.SegmentWeight(topo.Segments[m.seg])
+	}
+	return cfg.InnerWeight
+}
+
+// inverse reports whether o undoes m: swaps and shifts are self-inverse,
+// and a shuttle is undone by shuttling back across the same segment.
+func (m move) inverse(o move) bool {
+	if m.kind != moveShuttle && o.kind != moveShuttle {
+		return m.trap == o.trap &&
+			((m.i == o.i && m.j == o.j) || (m.i == o.j && m.j == o.i))
+	}
+	if m.kind == moveShuttle && o.kind == moveShuttle {
+		return m.seg == o.seg && m.from != o.from
+	}
+	return false
+}
+
+// apply mutates the placement (no op emission); undo with unapply.
+func (m move) apply(p *device.Placement) error {
+	switch m.kind {
+	case moveSwap, moveShift:
+		p.SwapWithin(m.trap, m.i, m.j)
+		return nil
+	default:
+		_, err := p.Shuttle(p.Topology().Segments[m.seg], m.from)
+		return err
+	}
+}
+
+func (m move) unapply(p *device.Placement) error {
+	switch m.kind {
+	case moveSwap, moveShift:
+		p.SwapWithin(m.trap, m.i, m.j)
+		return nil
+	default:
+		seg := p.Topology().Segments[m.seg]
+		_, err := p.Shuttle(seg, seg.Other(m.from))
+		return err
+	}
+}
+
+// candidates builds the generic-swap candidate set S(wait_list) of
+// Algorithm 1 step 11: legal interchanges on edges touching the qubits of
+// blocked frontier gates, space-shift steps readying receiving ends, and
+// eviction shuttles out of full traps on the route.
+func (c *compilation) candidates(blocked []int) []move {
+	seen := make(map[[5]int]bool)
+	var out []move
+	add := func(m move) {
+		k := m.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	p, topo := c.place, c.topo
+
+	limit := len(blocked)
+	if c.cfg.MaxBlockedGates > 0 && limit > c.cfg.MaxBlockedGates {
+		limit = c.cfg.MaxBlockedGates
+	}
+	for _, gid := range blocked[:limit] {
+		g := c.dag.Gate(gid)
+		pairs := [2][2]int{{g.Qubits[0], g.Qubits[1]}, {g.Qubits[1], g.Qubits[0]}}
+		for _, pr := range pairs {
+			qm, qs := pr[0], pr[1]
+			lm := p.Where(qm)
+			tm, ts := lm.Trap, p.Where(qs).Trap
+
+			// Single-step intra-trap interchanges of qm in both directions.
+			for _, d := range [2]int{-1, 1} {
+				n := lm.Slot + d
+				if n < 0 || n >= topo.Traps[tm].Capacity {
+					continue
+				}
+				if p.At(tm, n) == device.Empty {
+					add(move{kind: moveShift, trap: tm, i: lm.Slot, j: n})
+				} else {
+					add(move{kind: moveSwap, trap: tm, i: lm.Slot, j: n})
+				}
+			}
+
+			// Legal shuttles out of qm's trap (any border ion may move —
+			// the scorer decides whether that helps).
+			for _, si := range topo.SegmentsAt(tm) {
+				if p.CanShuttle(topo.Segments[si], tm) {
+					add(move{kind: moveShuttle, seg: si, from: tm})
+				}
+			}
+
+			if ts == tm {
+				continue
+			}
+			// First hop toward the partner: ready the receiving side.
+			segID := topo.NextSegment(tm, ts)
+			if segID < 0 {
+				continue
+			}
+			seg := topo.Segments[segID]
+			dst := seg.Other(tm)
+			recvEnd := seg.EndAt(dst)
+			endSlot := p.EndSlot(dst, recvEnd)
+			if p.At(dst, endSlot) != device.Empty && p.HasSpace(dst) {
+				// One step of shifting the nearest space toward the
+				// receiving end (rule 4).
+				empty := p.FreeSlotTowards(dst, recvEnd)
+				step := 1
+				if endSlot < empty {
+					step = -1
+				}
+				add(move{kind: moveShift, trap: dst, i: empty + step, j: empty})
+			}
+			if !p.HasSpace(dst) {
+				// Eviction shuttles out of the full next-hop trap.
+				for _, si := range topo.SegmentsAt(dst) {
+					s2 := topo.Segments[si]
+					if s2.Other(dst) == tm {
+						continue
+					}
+					if p.CanShuttle(s2, dst) {
+						add(move{kind: moveShuttle, seg: si, from: dst})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// blockedGatePairs returns the qubit pairs of blocked gates used for
+// scoring, capped at MaxBlockedGates.
+func (c *compilation) blockedGatePairs(blocked []int) [][2]int {
+	limit := len(blocked)
+	if c.cfg.MaxBlockedGates > 0 && limit > c.cfg.MaxBlockedGates {
+		limit = c.cfg.MaxBlockedGates
+	}
+	pairs := make([][2]int, 0, limit)
+	for _, gid := range blocked[:limit] {
+		g := c.dag.Gate(gid)
+		pairs = append(pairs, [2]int{g.Qubits[0], g.Qubits[1]})
+	}
+	return pairs
+}
+
+// movedQubits returns the logical qubits a move touches, for decay
+// bookkeeping.
+func (c *compilation) movedQubits(m move) []int {
+	var qs []int
+	switch m.kind {
+	case moveSwap, moveShift:
+		for _, s := range [2]int{m.i, m.j} {
+			if q := c.place.At(m.trap, s); q != device.Empty {
+				qs = append(qs, q)
+			}
+		}
+	case moveShuttle:
+		seg := c.topo.Segments[m.seg]
+		end := c.place.EndSlot(m.from, seg.EndAt(m.from))
+		if q := c.place.At(m.from, end); q != device.Empty {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}

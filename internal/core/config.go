@@ -1,0 +1,79 @@
+// Package core implements the S-SYNC compiler: the generic-swap-based
+// shuttling scheduler of Algorithm 1 with the heuristic cost functions of
+// Eqs. 1–2. Working on the static topology formulation of Sec. 3.1 —
+// qubit nodes and space nodes over fixed slots — it co-optimises shuttle
+// and SWAP insertion by treating every legal node interchange (SWAP gate,
+// space shift, shuttle) as one move class, the generic swap.
+package core
+
+import (
+	"ssync/internal/mapping"
+)
+
+// Config holds the scheduler hyperparameters (Sec. 4.2 "Algorithm
+// Configurations").
+type Config struct {
+	// InnerWeight is the static-graph weight of intra-trap edges
+	// (SWAP/shift); paper: 0.001.
+	InnerWeight float64
+	// ShuttleWeight scales inter-trap edges; a segment crossing j
+	// junctions weighs ShuttleWeight·(1+j); paper: 1.
+	ShuttleWeight float64
+	// Delta is the decay increment δ of Eq. 1; paper benchmark: 0.001.
+	Delta float64
+	// DecayWindow is the number of iterations after which a qubit's decay
+	// resets (paper: 5).
+	DecayWindow int
+	// PathLimit is the path-truncation bound m of Eq. 2 (paper: 2): per-hop
+	// congestion terms are evaluated exactly for at most m hops.
+	PathLimit int
+	// PenWeight scales the Pen term of Eq. 2 (count of space-less traps).
+	PenWeight float64
+	// MaxBlockedGates caps how many blocked frontier gates seed candidate
+	// generation and scoring each iteration (compile-time guard).
+	MaxBlockedGates int
+	// LookaheadGates is the number of upcoming (post-frontier) two-qubit
+	// gates whose average score joins H as a tie-breaking term, so the
+	// chosen direction of a generic swap also helps near-future gates.
+	LookaheadGates int
+	// LookaheadWeight scales the lookahead term relative to the frontier
+	// minimum of Eq. 1.
+	LookaheadWeight float64
+	// MaxStall is the number of consecutive iterations without an executed
+	// gate before the deterministic fallback router forces progress.
+	MaxStall int
+	// HeatAware, when set, biases shuttle selection away from trap chains
+	// that transport has already heated (an instance of the noise-adaptive
+	// policies the paper's Sec. 7 proposes as future work). Each candidate
+	// shuttle's cost grows by HeatWeight × the destination chain's
+	// accumulated transport quanta.
+	HeatAware  bool
+	HeatWeight float64
+	// CommutationAware schedules over the commutation-relaxed dependency
+	// DAG (Z-diagonal and X-axis runs unordered), widening the frontier the
+	// heuristic chooses from — another of the paper's proposed extensions.
+	CommutationAware bool
+	// Mapping selects the initial placement (Sec. 3.4).
+	Mapping mapping.Config
+}
+
+// DefaultConfig returns the paper's benchmark configuration: inner weight
+// 0.001, shuttle weight 1, δ = 0.001 with a 5-iteration reset, m = 2, and
+// gathering initial mapping.
+func DefaultConfig() Config {
+	return Config{
+		InnerWeight:     0.001,
+		ShuttleWeight:   1,
+		Delta:           0.001,
+		DecayWindow:     5,
+		PathLimit:       2,
+		PenWeight:       1,
+		MaxBlockedGates: 16,
+		LookaheadGates:  12,
+		LookaheadWeight: 0.5,
+		MaxStall:        64,
+		HeatAware:       false,
+		HeatWeight:      2,
+		Mapping:         mapping.DefaultConfig(),
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+	"ssync/internal/mapping"
+	"ssync/internal/schedule"
+	"ssync/internal/workloads"
+)
+
+func compileOn(t *testing.T, c *circuit.Circuit, topo *device.Topology) *Result {
+	t.Helper()
+	res, err := Compile(DefaultConfig(), c, topo)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	return res
+}
+
+func TestCompileTrivialSameTrap(t *testing.T) {
+	topo := device.Linear(2, 5)
+	c := circuit.NewCircuit(3)
+	c.H(0).CX(0, 1).CX(1, 2).CX(0, 2)
+	res := compileOn(t, c, topo)
+	// Gathering mapping puts all 3 qubits in trap 0: no shuttles, no swaps.
+	if res.Counts.Shuttles != 0 {
+		t.Errorf("shuttles = %d, want 0", res.Counts.Shuttles)
+	}
+	if res.Counts.Swaps != 0 {
+		t.Errorf("swaps = %d, want 0", res.Counts.Swaps)
+	}
+	if res.Counts.TwoQubit != 3 {
+		t.Errorf("2Q gates executed = %d, want 3", res.Counts.TwoQubit)
+	}
+}
+
+func TestCompileForcesShuttle(t *testing.T) {
+	// Two traps of capacity 3, 4 qubits: the pair (0,3) must meet.
+	topo := device.Linear(2, 3)
+	c := circuit.NewCircuit(4)
+	c.CX(0, 3)
+	cfg := DefaultConfig()
+	cfg.Mapping.Strategy = mapping.EvenDivided
+	res, err := Compile(cfg, c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Shuttles < 1 {
+		t.Errorf("shuttles = %d, want >= 1", res.Counts.Shuttles)
+	}
+	if res.Counts.TwoQubit != 1 {
+		t.Errorf("2Q gates executed = %d, want 1", res.Counts.TwoQubit)
+	}
+}
+
+func TestCompileExecutesEverything(t *testing.T) {
+	topo := device.Grid(2, 2, 6)
+	c := workloads.QFT(12)
+	res := compileOn(t, c, topo)
+	if res.Counts.TwoQubit != c.TwoQubitCount() {
+		t.Errorf("2Q executed = %d, want %d", res.Counts.TwoQubit, c.TwoQubitCount())
+	}
+	if res.Counts.SingleQubit != c.SingleQubitCount() {
+		t.Errorf("1Q executed = %d, want %d", res.Counts.SingleQubit, c.SingleQubitCount())
+	}
+}
+
+func TestGate2QAlwaysCoTrapped(t *testing.T) {
+	// Replay the schedule against the initial placement and confirm every
+	// 2Q/SWAP op acts within a single trap and every shuttle is legal.
+	topo := device.Grid(2, 2, 5)
+	c := workloads.QAOA(14, 2)
+	res := compileOn(t, c, topo)
+	if err := replay(res.Schedule, res.Initial.Clone()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replay re-executes the op stream op by op, enforcing physical legality.
+func replay(s *schedule.Schedule, p *device.Placement) error {
+	topo := p.Topology()
+	var inTransit struct {
+		q   int
+		seg int
+		ok  bool
+	}
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case schedule.Gate2Q, schedule.SwapGate:
+			l1, l2 := p.Where(op.Qubits[0]), p.Where(op.Qubits[1])
+			if l1.Trap != l2.Trap {
+				return errAt(i, "2Q op across traps %d/%d", l1.Trap, l2.Trap)
+			}
+			if op.Trap != l1.Trap {
+				return errAt(i, "trap annotation %d, ions in %d", op.Trap, l1.Trap)
+			}
+			if op.ChainLen != p.IonCount(l1.Trap) {
+				return errAt(i, "chain annotation %d, trap holds %d", op.ChainLen, p.IonCount(l1.Trap))
+			}
+			if op.Kind == schedule.SwapGate {
+				p.SwapWithin(l1.Trap, l1.Slot, l2.Slot)
+			}
+		case schedule.Shift:
+			l := p.Where(op.Qubits[0])
+			if l.Trap != op.Trap || l.Slot != op.SlotA {
+				return errAt(i, "shift source annotation (%d,%d) but ion at %v", op.Trap, op.SlotA, l)
+			}
+			if p.At(op.Trap, op.SlotB) != device.Empty {
+				return errAt(i, "shift into occupied slot %d", op.SlotB)
+			}
+			if d := op.SlotA - op.SlotB; d != 1 && d != -1 {
+				return errAt(i, "shift between non-adjacent slots %d/%d", op.SlotA, op.SlotB)
+			}
+			p.SwapWithin(op.Trap, op.SlotA, op.SlotB)
+		case schedule.Split:
+			l := p.Where(op.Qubits[0])
+			if l.Slot != 0 && l.Slot != topo.Traps[l.Trap].Capacity-1 {
+				return errAt(i, "split of q%d not at a trap end (slot %d)", op.Qubits[0], l.Slot)
+			}
+			inTransit.q, inTransit.ok = op.Qubits[0], true
+		case schedule.Move, schedule.JunctionCross:
+			if !inTransit.ok || inTransit.q != op.Qubits[0] {
+				return errAt(i, "transport op without preceding split")
+			}
+			inTransit.seg = op.Segment
+		case schedule.Merge:
+			if !inTransit.ok || inTransit.q != op.Qubits[0] {
+				return errAt(i, "merge without split")
+			}
+			seg := topo.Segments[inTransit.seg]
+			from := p.Where(op.Qubits[0]).Trap
+			if seg.Other(from) != op.Trap {
+				return errAt(i, "merge trap %d not across segment %d", op.Trap, seg.ID)
+			}
+			if !p.CanShuttle(seg, from) {
+				return errAt(i, "illegal shuttle replay")
+			}
+			if _, err := p.Shuttle(seg, from); err != nil {
+				return err
+			}
+			inTransit.ok = false
+		}
+		if err := p.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func errAt(i int, format string, args ...interface{}) error {
+	return fmt.Errorf("op %d: %s", i, fmt.Sprintf(format, args...))
+}
+
+func TestShiftsDontCountAsSwaps(t *testing.T) {
+	topo := device.Linear(2, 6)
+	c := circuit.NewCircuit(4)
+	c.CX(0, 3)
+	cfg := DefaultConfig()
+	cfg.Mapping.Strategy = mapping.EvenDivided
+	res, err := Compile(cfg, c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 ions per 6-slot trap there is always a free path to the edge:
+	// positioning should use shifts, not SWAP gates.
+	if res.Counts.Swaps != 0 {
+		t.Errorf("swaps = %d, want 0 (free space everywhere)", res.Counts.Swaps)
+	}
+}
+
+func TestDecayConfig(t *testing.T) {
+	comp := &compilation{cfg: DefaultConfig(), lastTouch: []int{0, -1000}}
+	comp.iter = 3
+	g := circuit.New("cx", []int{0, 1})
+	if d := comp.decay(g); d != 1+comp.cfg.Delta {
+		t.Errorf("decay = %g, want %g (qubit 0 touched recently)", d, 1+comp.cfg.Delta)
+	}
+	comp.iter = 100
+	if d := comp.decay(g); d != 1 {
+		t.Errorf("decay = %g, want 1 (stale touches)", d)
+	}
+}
+
+func TestMoveInverse(t *testing.T) {
+	a := move{kind: moveSwap, trap: 1, i: 2, j: 3}
+	if !a.inverse(move{kind: moveSwap, trap: 1, i: 3, j: 2}) {
+		t.Error("reversed swap not recognised as inverse")
+	}
+	if a.inverse(move{kind: moveSwap, trap: 2, i: 2, j: 3}) {
+		t.Error("different trap flagged as inverse")
+	}
+	s1 := move{kind: moveShuttle, seg: 4, from: 0}
+	s2 := move{kind: moveShuttle, seg: 4, from: 1}
+	if !s1.inverse(s2) {
+		t.Error("reverse shuttle not recognised as inverse")
+	}
+	if s1.inverse(s1) {
+		t.Error("same-direction shuttle flagged as inverse")
+	}
+}
+
+func TestCompileRejectsBadInput(t *testing.T) {
+	topo := device.Linear(2, 4)
+	c := circuit.NewCircuit(3)
+	c.CCX(0, 1, 2)
+	p := device.NewPlacement(topo, 3)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 1)
+	p.Place(2, 0, 2)
+	if _, err := CompileWithPlacement(DefaultConfig(), c, topo, p); err == nil {
+		t.Error("3-qubit gate accepted without decomposition")
+	}
+	c2 := circuit.NewCircuit(2)
+	c2.CX(0, 1)
+	p2 := device.NewPlacement(topo, 2)
+	p2.Place(0, 0, 0) // qubit 1 unplaced
+	if _, err := CompileWithPlacement(DefaultConfig(), c2, topo, p2); err == nil {
+		t.Error("unplaced qubit accepted")
+	}
+}
+
+func TestCompileOverCapacity(t *testing.T) {
+	topo := device.Linear(2, 3)
+	if _, err := Compile(DefaultConfig(), workloads.QFT(10), topo); err == nil {
+		t.Error("over-capacity circuit accepted")
+	}
+}
+
+// Property: random circuits on random topologies compile, execute every
+// gate, replay legally, and the final placement satisfies invariants.
+func TestCompileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topos := []*device.Topology{
+			device.Linear(2, 4), device.Linear(3, 4), device.Grid(2, 2, 4), device.Star(4, 4),
+		}
+		topo := topos[r.Intn(len(topos))]
+		nq := 3 + r.Intn(topo.TotalCapacity()-topo.NumTraps()-3)
+		c := circuit.NewCircuit(nq)
+		for i := 0; i < 4+r.Intn(28); i++ {
+			a := r.Intn(nq)
+			b := r.Intn(nq - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+		strategies := []mapping.Strategy{mapping.EvenDivided, mapping.Gathering, mapping.STA}
+		cfg := DefaultConfig()
+		cfg.Mapping.Strategy = strategies[r.Intn(len(strategies))]
+		res, err := Compile(cfg, c, topo)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Counts.TwoQubit != c.TwoQubitCount() {
+			t.Logf("seed %d: executed %d/%d gates", seed, res.Counts.TwoQubit, c.TwoQubitCount())
+			return false
+		}
+		if res.Schedule.Validate() != nil {
+			return false
+		}
+		if replay(res.Schedule, res.Initial.Clone()) != nil {
+			t.Logf("seed %d: replay failed", seed)
+			return false
+		}
+		return res.Final.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileQFT24OnPaperTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale compile in -short mode")
+	}
+	c := workloads.QFT(24)
+	for _, name := range []string{"L-6", "G-2x3", "S-4"} {
+		topo, err := device.ByName(name, device.PaperCapacity(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := compileOn(t, c, topo)
+		if res.Counts.TwoQubit != c.TwoQubitCount() {
+			t.Errorf("%s: executed %d/%d 2Q gates", name, res.Counts.TwoQubit, c.TwoQubitCount())
+		}
+		if res.Fallbacks > res.Counts.TwoQubit/10 {
+			t.Errorf("%s: %d fallbacks — heuristic is stalling too often", name, res.Fallbacks)
+		}
+		t.Logf("%s: shuttles=%d swaps=%d iter=%d fallbacks=%d",
+			name, res.Counts.Shuttles, res.Counts.Swaps, res.Iterations, res.Fallbacks)
+	}
+}

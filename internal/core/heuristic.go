@@ -1,0 +1,98 @@
+package core
+
+import (
+	"ssync/internal/device"
+)
+
+// heuristic evaluates Eq. 2's score over the current placement.
+type heuristic struct {
+	cfg  Config
+	topo *device.Topology
+	p    *device.Placement
+}
+
+// dis estimates the generic-swap cost of bringing the two qubits of a gate
+// together: 0 when co-trapped, otherwise the cheaper direction of moving
+// one qubit into the other's trap along a shortest trap path, including
+// edge-positioning SWAPs, receiving-side readiness, and (within the first
+// PathLimit hops, Eq. 2's truncation m) per-hop congestion.
+func (h *heuristic) dis(q1, q2 int) float64 {
+	l1, l2 := h.p.Where(q1), h.p.Where(q2)
+	if l1.Trap == l2.Trap {
+		return 0
+	}
+	a := h.dirCost(q1, q2)
+	b := h.dirCost(q2, q1)
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// dirCost prices moving qm into qs's trap.
+func (h *heuristic) dirCost(qm, qs int) float64 {
+	lm, ls := h.p.Where(qm), h.p.Where(qs)
+	tm, ts := lm.Trap, ls.Trap
+	cost := h.cfg.ShuttleWeight * h.topo.TrapDistance(tm, ts)
+
+	segs := h.topo.TrapPath(tm, ts)
+	if len(segs) == 0 {
+		return cost
+	}
+	first := h.topo.Segments[segs[0]]
+	// SWAPs to put qm at the exit end for the first hop.
+	exitSlot := h.p.EndSlot(tm, first.EndAt(tm))
+	cost += h.cfg.InnerWeight * float64(h.p.SwapsToEnd(tm, lm.Slot, first.EndAt(tm)))
+	// Sub-inner-weight gradient terms break score plateaus so free shifts
+	// make measurable progress: distance of qm from the exit slot, and of
+	// the receiving space from the receiving end.
+	eps := h.cfg.InnerWeight * 0.1
+	cost += eps * float64(abs(lm.Slot-exitSlot))
+	dst := first.Other(tm)
+	recvEnd := first.EndAt(dst)
+	recvSlot := h.p.EndSlot(dst, recvEnd)
+	if h.p.At(dst, recvSlot) != device.Empty {
+		if empty := h.p.FreeSlotTowards(dst, recvEnd); empty >= 0 {
+			cost += eps * float64(abs(empty-recvSlot))
+		} else {
+			cost += h.cfg.ShuttleWeight // full next hop: eviction needed
+		}
+	}
+	// A full destination needs an eviction shuttle before qm can merge.
+	if !h.p.HasSpace(ts) && ts != dst {
+		cost += h.cfg.ShuttleWeight
+	}
+	// Truncated per-hop congestion (m = PathLimit): intermediate traps
+	// that are full, or whose entry and exit ends differ (forcing qm to
+	// cross the whole resident chain), add cost.
+	limit := h.cfg.PathLimit
+	if limit > len(segs)-1 {
+		limit = len(segs) - 1
+	}
+	cur := tm
+	for i := 0; i < limit; i++ {
+		s1 := h.topo.Segments[segs[i]]
+		cur = s1.Other(cur)
+		s2 := h.topo.Segments[segs[i+1]]
+		if s1.EndAt(cur) != s2.EndAt(cur) {
+			cost += h.cfg.InnerWeight * float64(h.p.IonCount(cur))
+		}
+		if !h.p.HasSpace(cur) {
+			cost += h.cfg.ShuttleWeight
+		}
+	}
+	return cost
+}
+
+// score implements Eq. 2: the bounded path cost plus the blocked-trap
+// penalty Pen (traps with no internal space node).
+func (h *heuristic) score(q1, q2 int) float64 {
+	return h.dis(q1, q2) + h.cfg.PenWeight*float64(h.p.FullTraps())
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

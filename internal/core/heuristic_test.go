@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+	"ssync/internal/mapping"
+	"ssync/internal/workloads"
+)
+
+func newHeur(t *testing.T, topo *device.Topology, nq int) (*heuristic, *device.Placement) {
+	t.Helper()
+	p := device.NewPlacement(topo, nq)
+	h := &heuristic{cfg: DefaultConfig(), topo: topo, p: p}
+	return h, p
+}
+
+func TestDisZeroWhenCoTrapped(t *testing.T) {
+	h, p := newHeur(t, device.Linear(2, 4), 2)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 3)
+	if d := h.dis(0, 1); d != 0 {
+		t.Errorf("dis same trap = %g, want 0", d)
+	}
+}
+
+func TestDisGrowsWithTrapDistance(t *testing.T) {
+	h, p := newHeur(t, device.Linear(4, 4), 2)
+	p.Place(0, 0, 3)
+	p.Place(1, 1, 0)
+	near := h.dis(0, 1)
+	p.SwapWithin(1, 0, 0) // no-op keep placement
+	h2, p2 := newHeur(t, device.Linear(4, 4), 2)
+	p2.Place(0, 0, 3)
+	p2.Place(1, 3, 0)
+	far := h2.dis(0, 1)
+	if far <= near {
+		t.Errorf("dis should grow with distance: near=%g far=%g", near, far)
+	}
+}
+
+func TestDisCountsEdgeSwaps(t *testing.T) {
+	topo := device.Linear(2, 5)
+	h, p := newHeur(t, topo, 4)
+	// q0 buried behind q2,q3 relative to the right exit end of trap 0.
+	p.Place(0, 0, 1)
+	p.Place(2, 0, 2)
+	p.Place(3, 0, 3)
+	p.Place(1, 1, 2)
+	buried := h.dirCost(0, 1)
+	// Compare with q0 sitting at the exit edge.
+	h2, p2 := newHeur(t, topo, 4)
+	p2.Place(0, 0, 4)
+	p2.Place(2, 0, 1)
+	p2.Place(3, 0, 2)
+	p2.Place(1, 1, 2)
+	edge := h2.dirCost(0, 1)
+	if buried <= edge {
+		t.Errorf("buried ion should cost more: buried=%g edge=%g", buried, edge)
+	}
+}
+
+func TestDisSymmetricMin(t *testing.T) {
+	h, p := newHeur(t, device.Linear(2, 4), 2)
+	p.Place(0, 0, 0)
+	p.Place(1, 1, 3)
+	if d1, d2 := h.dis(0, 1), h.dis(1, 0); d1 != d2 {
+		t.Errorf("dis not symmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestScoreIncludesPen(t *testing.T) {
+	topo := device.Linear(3, 2)
+	h, p := newHeur(t, topo, 4)
+	p.Place(0, 0, 0)
+	p.Place(1, 2, 1)
+	base := h.score(0, 1)
+	// Fill trap 1 entirely: Pen rises by exactly PenWeight.
+	p.Place(2, 1, 0)
+	p.Place(3, 1, 1)
+	full := h.score(0, 1)
+	if diff := full - base; diff < h.cfg.PenWeight-0.5 {
+		t.Errorf("Pen not reflected: score %g -> %g", base, full)
+	}
+}
+
+func TestCandidatesContainProgressMoves(t *testing.T) {
+	topo := device.Linear(2, 3)
+	c := circuit.NewCircuit(2)
+	c.CX(0, 1)
+	basis := c.DecomposeToBasis()
+	p := device.NewPlacement(topo, 2)
+	p.Place(0, 0, 2) // at the exit edge of trap 0
+	p.Place(1, 1, 2) // far end of trap 1; receiving slot 0 is free
+	comp := &compilation{
+		cfg:       DefaultConfig(),
+		topo:      topo,
+		dag:       circuit.NewDAG(basis),
+		place:     p,
+		lastTouch: []int{-1 << 30, -1 << 30},
+		heat:      make([]float64, 2),
+	}
+	cands := comp.candidates(comp.dag.FrontierTwoQubit())
+	foundShuttle := false
+	for _, m := range cands {
+		if m.kind == moveShuttle && m.from == 0 {
+			foundShuttle = true
+		}
+	}
+	if !foundShuttle {
+		t.Errorf("candidate set lacks the obvious shuttle: %+v", cands)
+	}
+}
+
+func TestCandidatesDeduplicated(t *testing.T) {
+	topo := device.Linear(2, 4)
+	c := circuit.NewCircuit(4)
+	// Two blocked gates sharing trap structure produce overlapping moves.
+	c.CX(0, 2).CX(1, 3)
+	basis := c.DecomposeToBasis()
+	p := device.NewPlacement(topo, 4)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 1)
+	p.Place(2, 1, 2)
+	p.Place(3, 1, 3)
+	comp := &compilation{
+		cfg:       DefaultConfig(),
+		topo:      topo,
+		dag:       circuit.NewDAG(basis),
+		place:     p,
+		lastTouch: make([]int, 4),
+		heat:      make([]float64, 2),
+	}
+	cands := comp.candidates(comp.dag.FrontierTwoQubit())
+	seen := map[[5]int]bool{}
+	for _, m := range cands {
+		k := m.key()
+		if seen[k] {
+			t.Fatalf("duplicate candidate %+v", m)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMoveApplyUnapplyRoundTrip(t *testing.T) {
+	topo := device.Linear(2, 3)
+	p := device.NewPlacement(topo, 2)
+	p.Place(0, 0, 2)
+	p.Place(1, 0, 1)
+	before := p.Permutation()
+	moves := []move{
+		{kind: moveSwap, trap: 0, i: 1, j: 2},
+		{kind: moveShift, trap: 0, i: 2, j: 0},
+		{kind: moveShuttle, seg: 0, from: 0},
+	}
+	for _, m := range moves {
+		if err := m.apply(p); err != nil {
+			t.Fatalf("%+v apply: %v", m, err)
+		}
+		if err := m.unapply(p); err != nil {
+			t.Fatalf("%+v unapply: %v", m, err)
+		}
+		after := p.Permutation()
+		for q := range before {
+			if before[q] != after[q] {
+				t.Fatalf("%+v not undone: %v -> %v", m, before, after)
+			}
+		}
+	}
+}
+
+func TestHeatAwareReducesHotTrapTraffic(t *testing.T) {
+	// Sanity: heat-aware compilation completes and verifies on a workload
+	// that forces repeated shuttling.
+	topo := device.Star(4, 6)
+	c := workloads.BV(16)
+	cfg := DefaultConfig()
+	cfg.HeatAware = true
+	cfg.Mapping.Strategy = mapping.EvenDivided
+	res, err := Compile(cfg, c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.TwoQubit != c.TwoQubitCount() {
+		t.Errorf("executed %d/%d gates", res.Counts.TwoQubit, c.TwoQubitCount())
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"ssync/internal/circuit"
+	"ssync/internal/schedule"
+)
+
+// HardwareCircuit lowers a compiled schedule back into a circuit over
+// physical ions — the "hardware-compatible circuit" of the paper's Fig. 1
+// pipeline. Wire w is the ion that initially carried logical qubit w.
+// Schedule ops address logical qubits (whose states migrate between ions
+// on every inserted SWAP), so lowering tracks the logical→ion assignment:
+// gates are re-addressed to the ion currently holding each logical state,
+// and each SWAP gate both emits an explicit swap on its two ions and
+// re-points the assignment. Transport operations carry no logical action
+// and lower to nothing (their cost lives in the schedule/simulator).
+//
+// The returned ionOf maps logical qubit → ion holding its final state;
+// applying the returned circuit to an input where wire w carries logical
+// state w yields the source circuit's output with logical qubit q's state
+// on wire ionOf[q].
+func HardwareCircuit(s *schedule.Schedule) (hw *circuit.Circuit, ionOf []int, err error) {
+	out := circuit.NewCircuit(s.NumQubits)
+	ionOf = make([]int, s.NumQubits)
+	for i := range ionOf {
+		ionOf[i] = i
+	}
+	wires := func(qs []int) []int {
+		w := make([]int, len(qs))
+		for i, q := range qs {
+			w[i] = ionOf[q]
+		}
+		return w
+	}
+	for i, op := range s.Ops {
+		var g circuit.Gate
+		switch op.Kind {
+		case schedule.Gate1Q, schedule.Gate2Q:
+			g = circuit.Gate{Name: op.Name, Qubits: wires(op.Qubits), Params: op.Params}
+		case schedule.SwapGate:
+			a, b := op.Qubits[0], op.Qubits[1]
+			g = circuit.New("swap", []int{ionOf[a], ionOf[b]})
+			ionOf[a], ionOf[b] = ionOf[b], ionOf[a]
+		case schedule.Measure:
+			g = circuit.New("measure", wires(op.Qubits))
+		case schedule.Barrier:
+			g = circuit.New("barrier", wires(op.Qubits))
+		default:
+			continue // transport: no logical gate
+		}
+		if err := out.Append(g); err != nil {
+			return nil, nil, fmt.Errorf("core: lowering op %d: %w", i, err)
+		}
+	}
+	return out, ionOf, nil
+}
+
+// TrapProgram is the per-trap gate listing of a schedule: for each trap,
+// the gates (including inserted SWAPs) executed there, in order. This is
+// the unit a per-zone laser controller consumes.
+func TrapProgram(s *schedule.Schedule, numTraps int) ([][]schedule.Op, error) {
+	prog := make([][]schedule.Op, numTraps)
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case schedule.Gate1Q, schedule.Gate2Q, schedule.SwapGate, schedule.Measure:
+			if op.Trap < 0 || op.Trap >= numTraps {
+				return nil, fmt.Errorf("core: op %d has trap %d outside [0,%d)", i, op.Trap, numTraps)
+			}
+			prog[op.Trap] = append(prog[op.Trap], op)
+		}
+	}
+	return prog, nil
+}

@@ -1,0 +1,374 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearTopology(t *testing.T) {
+	topo := Linear(4, 10)
+	if topo.NumTraps() != 4 {
+		t.Fatalf("traps = %d, want 4", topo.NumTraps())
+	}
+	if len(topo.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(topo.Segments))
+	}
+	if got := topo.TrapDistance(0, 3); got != 3 {
+		t.Errorf("dist(0,3) = %g, want 3", got)
+	}
+	if got := topo.TotalCapacity(); got != 40 {
+		t.Errorf("total capacity = %d, want 40", got)
+	}
+	// Path 0 -> 3 walks segments 0,1,2.
+	path := topo.TrapPath(0, 3)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	topo := Grid(2, 3, 17)
+	if topo.NumTraps() != 6 {
+		t.Fatalf("traps = %d, want 6", topo.NumTraps())
+	}
+	// 2x3 grid: 2 rows * 2 horizontal + 3 vertical = 7 segments.
+	if len(topo.Segments) != 7 {
+		t.Fatalf("segments = %d, want 7", len(topo.Segments))
+	}
+	// Every grid segment crosses one junction -> weight 2.
+	for _, s := range topo.Segments {
+		if SegmentWeight(s) != 2 {
+			t.Errorf("grid segment weight = %g, want 2", SegmentWeight(s))
+		}
+	}
+	// Corner (0,0) to opposite corner (1,2): three hops of weight 2.
+	if got := topo.TrapDistance(0, 5); got != 6 {
+		t.Errorf("dist(0,5) = %g, want 6", got)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	topo := Star(4, 22)
+	if len(topo.Segments) != 6 {
+		t.Fatalf("segments = %d, want 6 (complete graph K4)", len(topo.Segments))
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a != b && topo.TrapDistance(a, b) != 1 {
+				t.Errorf("dist(%d,%d) = %g, want 1", a, b, topo.TrapDistance(a, b))
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := map[string]int{"L-4": 4, "L-6": 6, "G-2x2": 4, "G-2x3": 6, "G-3x3": 9, "S-4": 4, "S-6": 6}
+	for name, traps := range cases {
+		topo, err := ByName(name, 10)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if topo.NumTraps() != traps {
+			t.Errorf("%s: traps = %d, want %d", name, topo.NumTraps(), traps)
+		}
+		if topo.Name != name {
+			t.Errorf("name = %q, want %q", topo.Name, name)
+		}
+	}
+	for _, bad := range []string{"X-4", "G-2", "", "L-"} {
+		if _, err := ByName(bad, 10); err == nil {
+			t.Errorf("ByName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPaperCapacityKeepsTotalNear200(t *testing.T) {
+	for _, name := range []string{"S-4", "G-2x2", "G-2x3", "G-3x3", "L-4", "L-6"} {
+		topo, err := ByName(name, PaperCapacity(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := topo.TotalCapacity()
+		if tot < 80 || tot > 130 {
+			t.Errorf("%s total capacity = %d, expected near 88-108 (paper: ~100-200 ions)", name, tot)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	traps := []Trap{{0, 5}, {1, 5}}
+	if _, err := New("bad", traps, []Segment{{A: 0, B: 0}}); err == nil {
+		t.Error("self-loop segment accepted")
+	}
+	if _, err := New("bad", traps, []Segment{{A: 0, B: 7}}); err == nil {
+		t.Error("out-of-range segment accepted")
+	}
+	if _, err := New("bad", traps, nil); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+	if _, err := New("bad", []Trap{{0, 0}}, nil); err == nil {
+		t.Error("zero-capacity trap accepted")
+	}
+}
+
+func TestPlacementBasics(t *testing.T) {
+	topo := Linear(2, 4)
+	p := NewPlacement(topo, 3)
+	if err := p.Place(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(0, 1, 1); err == nil {
+		t.Error("double placement accepted")
+	}
+	if err := p.Place(1, 0, 0); err == nil {
+		t.Error("occupied slot accepted")
+	}
+	if p.IonCount(0) != 2 || p.IonCount(1) != 1 {
+		t.Errorf("ion counts = %d,%d", p.IonCount(0), p.IonCount(1))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapWithin(t *testing.T) {
+	topo := Linear(1, 4)
+	p := NewPlacement(topo, 2)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 2)
+	p.SwapWithin(0, 0, 2) // qubit-qubit swap
+	if p.Where(0) != (Loc{0, 2}) || p.Where(1) != (Loc{0, 0}) {
+		t.Errorf("after swap: %v %v", p.Where(0), p.Where(1))
+	}
+	p.SwapWithin(0, 2, 3) // qubit-space shift
+	if p.Where(0) != (Loc{0, 3}) {
+		t.Errorf("after shift: %v", p.Where(0))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuttle(t *testing.T) {
+	topo := Linear(2, 3)
+	p := NewPlacement(topo, 1)
+	seg := topo.Segments[0] // attaches right end of 0 to left end of 1
+	p.Place(0, 0, 2)        // right end of trap 0
+	if !p.CanShuttle(seg, 0) {
+		t.Fatal("CanShuttle = false, want true")
+	}
+	q, err := p.Shuttle(seg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Errorf("shuttled qubit = %d, want 0", q)
+	}
+	if p.Where(0) != (Loc{1, 0}) {
+		t.Errorf("after shuttle loc = %v, want {1 0}", p.Where(0))
+	}
+	if p.IonCount(0) != 0 || p.IonCount(1) != 1 {
+		t.Errorf("ion counts after shuttle: %d, %d", p.IonCount(0), p.IonCount(1))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Shuttle back requires ion at left end of trap 1 (it is) and space at
+	// right end of trap 0 (there is).
+	if !p.CanShuttle(seg, 1) {
+		t.Error("return shuttle should be legal")
+	}
+}
+
+func TestShuttleIllegal(t *testing.T) {
+	topo := Linear(2, 2)
+	p := NewPlacement(topo, 3)
+	seg := topo.Segments[0]
+	p.Place(0, 0, 1) // at right end of trap 0
+	p.Place(1, 1, 0) // blocks left end of trap 1
+	p.Place(2, 1, 1)
+	if p.CanShuttle(seg, 0) {
+		t.Error("shuttle into occupied end slot should be illegal")
+	}
+	if _, err := p.Shuttle(seg, 0); err == nil {
+		t.Error("Shuttle should fail")
+	}
+	// No ion at source end.
+	p2 := NewPlacement(topo, 1)
+	p2.Place(0, 0, 0) // left end, not the attachment end
+	if p2.CanShuttle(seg, 0) {
+		t.Error("shuttle without ion at attachment end should be illegal")
+	}
+}
+
+func TestSwapsToEnd(t *testing.T) {
+	topo := Linear(1, 5)
+	p := NewPlacement(topo, 3)
+	p.Place(0, 0, 2)
+	p.Place(1, 0, 3)
+	p.Place(2, 0, 4)
+	// Bringing q0 to the right end passes ions at 3 and 4 -> 2 swaps.
+	if got := p.SwapsToEnd(0, 2, EndRight); got != 2 {
+		t.Errorf("SwapsToEnd right = %d, want 2", got)
+	}
+	// Left side is all spaces -> free.
+	if got := p.SwapsToEnd(0, 2, EndLeft); got != 0 {
+		t.Errorf("SwapsToEnd left = %d, want 0", got)
+	}
+}
+
+func TestIonsBetween(t *testing.T) {
+	topo := Linear(1, 6)
+	p := NewPlacement(topo, 3)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 2)
+	p.Place(2, 0, 5)
+	if got := p.IonsBetween(0, 0, 5); got != 1 {
+		t.Errorf("IonsBetween(0,5) = %d, want 1", got)
+	}
+	if got := p.IonsBetween(0, 5, 0); got != 1 {
+		t.Errorf("IonsBetween reversed = %d, want 1", got)
+	}
+	if got := p.IonsBetween(0, 0, 2); got != 0 {
+		t.Errorf("IonsBetween(0,2) = %d, want 0", got)
+	}
+}
+
+func TestFreeSlotTowards(t *testing.T) {
+	topo := Linear(1, 4)
+	p := NewPlacement(topo, 2)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 3)
+	if got := p.FreeSlotTowards(0, EndLeft); got != 1 {
+		t.Errorf("FreeSlotTowards left = %d, want 1", got)
+	}
+	if got := p.FreeSlotTowards(0, EndRight); got != 2 {
+		t.Errorf("FreeSlotTowards right = %d, want 2", got)
+	}
+}
+
+func TestFullTraps(t *testing.T) {
+	topo := Linear(2, 2)
+	p := NewPlacement(topo, 3)
+	p.Place(0, 0, 0)
+	p.Place(1, 0, 1)
+	p.Place(2, 1, 0)
+	if got := p.FullTraps(); got != 1 {
+		t.Errorf("FullTraps = %d, want 1", got)
+	}
+}
+
+func TestPermutationAndClone(t *testing.T) {
+	topo := Linear(2, 3)
+	p := NewPlacement(topo, 2)
+	p.Place(0, 0, 1)
+	p.Place(1, 1, 2)
+	perm := p.Permutation()
+	if perm[0] != 1 || perm[1] != 5 {
+		t.Errorf("permutation = %v, want [1 5]", perm)
+	}
+	c := p.Clone()
+	c.SwapWithin(0, 0, 1)
+	if p.Where(0) != (Loc{0, 1}) {
+		t.Error("Clone shares state with original")
+	}
+}
+
+// Property: any random sequence of legal operations preserves invariants
+// and the multiset of qubits.
+func TestPlacementOperationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topoChoices := []*Topology{Linear(3, 4), Grid(2, 2, 3), Star(4, 3)}
+		topo := topoChoices[r.Intn(len(topoChoices))]
+		nq := 1 + r.Intn(topo.TotalCapacity()-1)
+		p := NewPlacement(topo, nq)
+		// Scatter qubits randomly.
+		q := 0
+		for q < nq {
+			tr := r.Intn(topo.NumTraps())
+			sl := r.Intn(topo.Traps[tr].Capacity)
+			if p.At(tr, sl) == Empty {
+				if err := p.Place(q, tr, sl); err != nil {
+					return false
+				}
+				q++
+			}
+		}
+		for step := 0; step < 60; step++ {
+			switch r.Intn(2) {
+			case 0: // random in-trap interchange
+				tr := r.Intn(topo.NumTraps())
+				cap := topo.Traps[tr].Capacity
+				p.SwapWithin(tr, r.Intn(cap), r.Intn(cap))
+			case 1: // random legal shuttle, if any
+				si := r.Intn(len(topo.Segments))
+				s := topo.Segments[si]
+				from := s.A
+				if r.Intn(2) == 0 {
+					from = s.B
+				}
+				if p.CanShuttle(s, from) {
+					if _, err := p.Shuttle(s, from); err != nil {
+						return false
+					}
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		// Total ions conserved.
+		total := 0
+		for tr := 0; tr < topo.NumTraps(); tr++ {
+			total += p.IonCount(tr)
+		}
+		return total == nq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	topo := Linear(1, 2)
+	p := NewPlacement(topo, 1)
+	p.Place(0, 0, 1)
+	if got, want := p.String(), "trap 0: [. q0]\n"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRacetrackTopology(t *testing.T) {
+	topo := Racetrack(6, 10)
+	if topo.NumTraps() != 6 || len(topo.Segments) != 6 {
+		t.Fatalf("racetrack: %d traps, %d segments", topo.NumTraps(), len(topo.Segments))
+	}
+	// Ring distance: opposite traps are 3 hops apart, never more.
+	if got := topo.TrapDistance(0, 3); got != 3 {
+		t.Errorf("dist(0,3) = %g, want 3", got)
+	}
+	if got := topo.TrapDistance(0, 5); got != 1 {
+		t.Errorf("dist(0,5) = %g, want 1 (wraps around)", got)
+	}
+	if _, err := ByName("R-6", 10); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("R-2", 10); err == nil {
+		t.Error("R-2 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Racetrack(2) should panic")
+		}
+	}()
+	Racetrack(2, 5)
+}

@@ -1,0 +1,311 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Empty marks an unoccupied slot (a space node in the static graph).
+const Empty = -1
+
+// Loc locates a qubit on the device.
+type Loc struct {
+	Trap int
+	Slot int
+}
+
+// Placement is the mutable device state: which qubit (if any) occupies each
+// slot of each trap. It realises the paper's static topology graph — the
+// node set is fixed (slots), and all QCCD operations are node interchanges.
+type Placement struct {
+	topo     *Topology
+	slots    [][]int // slots[trap][slot] = qubit id or Empty
+	loc      []Loc   // loc[qubit]
+	ionCount []int   // ions per trap
+}
+
+// NewPlacement returns an all-empty placement for n qubits on topo.
+func NewPlacement(topo *Topology, n int) *Placement {
+	p := &Placement{
+		topo:     topo,
+		slots:    make([][]int, topo.NumTraps()),
+		loc:      make([]Loc, n),
+		ionCount: make([]int, topo.NumTraps()),
+	}
+	for i, tr := range topo.Traps {
+		p.slots[i] = make([]int, tr.Capacity)
+		for j := range p.slots[i] {
+			p.slots[i][j] = Empty
+		}
+	}
+	for q := range p.loc {
+		p.loc[q] = Loc{Trap: -1, Slot: -1}
+	}
+	return p
+}
+
+// Topology returns the device this placement lives on.
+func (p *Placement) Topology() *Topology { return p.topo }
+
+// NumQubits returns the number of tracked qubits.
+func (p *Placement) NumQubits() int { return len(p.loc) }
+
+// Place puts qubit q into (trap, slot); the slot must be empty and q
+// unplaced. Used by initial mapping.
+func (p *Placement) Place(q, trap, slot int) error {
+	if q < 0 || q >= len(p.loc) {
+		return fmt.Errorf("device: qubit %d out of range", q)
+	}
+	if p.loc[q].Trap >= 0 {
+		return fmt.Errorf("device: qubit %d already placed", q)
+	}
+	if trap < 0 || trap >= len(p.slots) || slot < 0 || slot >= len(p.slots[trap]) {
+		return fmt.Errorf("device: slot (%d,%d) out of range", trap, slot)
+	}
+	if p.slots[trap][slot] != Empty {
+		return fmt.Errorf("device: slot (%d,%d) already holds q%d", trap, slot, p.slots[trap][slot])
+	}
+	p.slots[trap][slot] = q
+	p.loc[q] = Loc{Trap: trap, Slot: slot}
+	p.ionCount[trap]++
+	return nil
+}
+
+// Where returns qubit q's location.
+func (p *Placement) Where(q int) Loc { return p.loc[q] }
+
+// At returns the occupant of (trap, slot), or Empty.
+func (p *Placement) At(trap, slot int) int { return p.slots[trap][slot] }
+
+// IonCount returns the number of ions currently in trap tr — the chain
+// length N used by the FM gate-time and heating models.
+func (p *Placement) IonCount(tr int) int { return p.ionCount[tr] }
+
+// HasSpace reports whether trap tr has at least one empty slot.
+func (p *Placement) HasSpace(tr int) bool {
+	return p.ionCount[tr] < p.topo.Traps[tr].Capacity
+}
+
+// FullTraps counts traps with no internal space node — the Pen term of
+// Eq. 2 (a spaceless trap cannot receive shuttled ions and blocks routing).
+func (p *Placement) FullTraps() int {
+	n := 0
+	for tr := range p.slots {
+		if !p.HasSpace(tr) {
+			n++
+		}
+	}
+	return n
+}
+
+// EndSlot returns the slot index of the given end of trap tr.
+func (p *Placement) EndSlot(tr int, e End) int {
+	if e == EndLeft {
+		return 0
+	}
+	return len(p.slots[tr]) - 1
+}
+
+// SwapWithin interchanges the contents of two slots of one trap. This is
+// the intra-trap generic swap: qubit↔qubit costs a SWAP gate, qubit↔space
+// is a free ion reposition, space↔space is a no-op. The caller decides what
+// to emit; SwapWithin just performs the interchange.
+func (p *Placement) SwapWithin(tr, i, j int) {
+	a, b := p.slots[tr][i], p.slots[tr][j]
+	p.slots[tr][i], p.slots[tr][j] = b, a
+	if a != Empty {
+		p.loc[a] = Loc{Trap: tr, Slot: j}
+	}
+	if b != Empty {
+		p.loc[b] = Loc{Trap: tr, Slot: i}
+	}
+}
+
+// CanShuttle reports whether a qubit can shuttle from trap `from` across
+// segment s: an ion must sit in from's attachment-end slot and the opposite
+// attachment-end slot must be a space (rule 3 of Sec. 3.1).
+func (p *Placement) CanShuttle(s Segment, from int) bool {
+	to := s.Other(from)
+	fromSlot := p.EndSlot(from, s.EndAt(from))
+	toSlot := p.EndSlot(to, s.EndAt(to))
+	return p.slots[from][fromSlot] != Empty && p.slots[to][toSlot] == Empty
+}
+
+// Shuttle moves the ion at from's attachment end across segment s into the
+// attachment-end slot of the far trap, returning the moved qubit id.
+func (p *Placement) Shuttle(s Segment, from int) (int, error) {
+	if !p.CanShuttle(s, from) {
+		return 0, fmt.Errorf("device: illegal shuttle on segment %d from trap %d", s.ID, from)
+	}
+	to := s.Other(from)
+	fromSlot := p.EndSlot(from, s.EndAt(from))
+	toSlot := p.EndSlot(to, s.EndAt(to))
+	q := p.slots[from][fromSlot]
+	p.slots[from][fromSlot] = Empty
+	p.slots[to][toSlot] = q
+	p.loc[q] = Loc{Trap: to, Slot: toSlot}
+	p.ionCount[from]--
+	p.ionCount[to]++
+	return q, nil
+}
+
+// IonsBetween counts ions strictly between two slots of a trap — the ion
+// separation d used by the PM/AM gate-duration models.
+func (p *Placement) IonsBetween(tr, a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	n := 0
+	for i := a + 1; i < b; i++ {
+		if p.slots[tr][i] != Empty {
+			n++
+		}
+	}
+	return n
+}
+
+// SwapsToEnd returns the number of SWAP gates needed to bring the ion at
+// (tr, slot) to end e of its trap: one per ion occupying slots between it
+// and the end (inclusive of the end slot). Space slots cost no SWAPs —
+// moving through them is a free reposition.
+func (p *Placement) SwapsToEnd(tr, slot int, e End) int {
+	end := p.EndSlot(tr, e)
+	n := 0
+	lo, hi := slot, end
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for i := lo; i <= hi; i++ {
+		if i == slot {
+			continue
+		}
+		if p.slots[tr][i] != Empty {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeSlotTowards returns the empty slot of trap tr nearest end e, or -1
+// if the trap is full.
+func (p *Placement) FreeSlotTowards(tr int, e End) int {
+	if e == EndLeft {
+		for i := 0; i < len(p.slots[tr]); i++ {
+			if p.slots[tr][i] == Empty {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := len(p.slots[tr]) - 1; i >= 0; i-- {
+		if p.slots[tr][i] == Empty {
+			return i
+		}
+	}
+	return -1
+}
+
+// QubitsInTrap returns the qubits in trap tr in slot order.
+func (p *Placement) QubitsInTrap(tr int) []int {
+	var out []int
+	for _, q := range p.slots[tr] {
+		if q != Empty {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the placement.
+func (p *Placement) Clone() *Placement {
+	c := &Placement{
+		topo:     p.topo,
+		slots:    make([][]int, len(p.slots)),
+		loc:      append([]Loc(nil), p.loc...),
+		ionCount: append([]int(nil), p.ionCount...),
+	}
+	for i := range p.slots {
+		c.slots[i] = append([]int(nil), p.slots[i]...)
+	}
+	return c
+}
+
+// Permutation returns perm where perm[q] = flat slot index of qubit q
+// (traps concatenated in id order). Two placements are equal iff their
+// permutations are.
+func (p *Placement) Permutation() []int {
+	base := make([]int, len(p.slots))
+	off := 0
+	for i := range p.slots {
+		base[i] = off
+		off += len(p.slots[i])
+	}
+	out := make([]int, len(p.loc))
+	for q, l := range p.loc {
+		if l.Trap < 0 {
+			out[q] = -1
+		} else {
+			out[q] = base[l.Trap] + l.Slot
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies internal consistency: loc matches slots, ion
+// counts match occupancy, every qubit appears exactly once.
+func (p *Placement) CheckInvariants() error {
+	seen := make(map[int]Loc)
+	for tr := range p.slots {
+		count := 0
+		for sl, q := range p.slots[tr] {
+			if q == Empty {
+				continue
+			}
+			count++
+			if q < 0 || q >= len(p.loc) {
+				return fmt.Errorf("device: slot (%d,%d) holds out-of-range qubit %d", tr, sl, q)
+			}
+			if prev, dup := seen[q]; dup {
+				return fmt.Errorf("device: qubit %d appears at both %v and (%d,%d)", q, prev, tr, sl)
+			}
+			seen[q] = Loc{tr, sl}
+			if p.loc[q] != (Loc{tr, sl}) {
+				return fmt.Errorf("device: loc[%d]=%v but slot table says (%d,%d)", q, p.loc[q], tr, sl)
+			}
+		}
+		if count != p.ionCount[tr] {
+			return fmt.Errorf("device: trap %d ionCount=%d but %d occupied slots", tr, p.ionCount[tr], count)
+		}
+		if count > p.topo.Traps[tr].Capacity {
+			return fmt.Errorf("device: trap %d over capacity", tr)
+		}
+	}
+	for q, l := range p.loc {
+		if l.Trap >= 0 {
+			if _, ok := seen[q]; !ok {
+				return fmt.Errorf("device: qubit %d has loc %v but no slot", q, l)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the placement, one trap per line ('.' = space node).
+func (p *Placement) String() string {
+	var b strings.Builder
+	for tr := range p.slots {
+		fmt.Fprintf(&b, "trap %d: [", tr)
+		for i, q := range p.slots[tr] {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if q == Empty {
+				b.WriteByte('.')
+			} else {
+				fmt.Fprintf(&b, "q%d", q)
+			}
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

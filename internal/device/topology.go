@@ -1,0 +1,350 @@
+// Package device models QCCD hardware: ion traps with bounded slot
+// capacity, shuttle segments (optionally passing through junctions), the
+// paper's L-/G-/S-series topologies (Fig. 7), and the static weighted
+// connectivity formulation of Sec. 3.1 in which every physical slot is a
+// node — a qubit node when an ion sits in it, a space node when empty.
+package device
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// End identifies one of the two ends of a linear trap chain; ions can only
+// be split from (and merged at) an end.
+type End int
+
+const (
+	EndLeft  End = 0 // slot 0 side
+	EndRight End = 1 // slot capacity-1 side
+)
+
+// Trap is one linear trapping zone holding up to Capacity ions.
+type Trap struct {
+	ID       int
+	Capacity int
+}
+
+// Segment is a shuttle path connecting an end of trap A to an end of
+// trap B. Junctions counts the X/Y-junctions an ion crosses in transit;
+// Hops counts the 5 µs linear move steps.
+type Segment struct {
+	ID         int
+	A, B       int
+	EndA, EndB End
+	Junctions  int
+	Hops       int
+}
+
+// Other returns the trap on the far side of the segment from trap t.
+func (s Segment) Other(t int) int {
+	if t == s.A {
+		return s.B
+	}
+	return s.A
+}
+
+// EndAt returns which end of trap t the segment attaches to.
+func (s Segment) EndAt(t int) End {
+	if t == s.A {
+		return s.EndA
+	}
+	return s.EndB
+}
+
+// Topology is an immutable QCCD device description.
+type Topology struct {
+	Name     string
+	Traps    []Trap
+	Segments []Segment
+
+	adj  [][]int // trap -> segment ids
+	dist [][]float64
+	next [][]int // next[t][u] = segment id of first hop from t toward u, -1 if unreachable
+}
+
+// New assembles a topology from traps and segments, validating and
+// precomputing trap-level all-pairs shortest paths (weights 1 + junctions,
+// matching the paper's shuttle weights w=1 plain, 2 one junction, ...).
+func New(name string, traps []Trap, segments []Segment) (*Topology, error) {
+	t := &Topology{Name: name, Traps: traps, Segments: segments}
+	for i := range t.Traps {
+		if t.Traps[i].ID != i {
+			return nil, fmt.Errorf("device: trap %d has ID %d; IDs must be positional", i, t.Traps[i].ID)
+		}
+		if t.Traps[i].Capacity < 1 {
+			return nil, fmt.Errorf("device: trap %d has capacity %d", i, t.Traps[i].Capacity)
+		}
+	}
+	t.adj = make([][]int, len(traps))
+	for i := range t.Segments {
+		s := &t.Segments[i]
+		s.ID = i
+		if s.Hops <= 0 {
+			s.Hops = 1
+		}
+		if s.A < 0 || s.A >= len(traps) || s.B < 0 || s.B >= len(traps) {
+			return nil, fmt.Errorf("device: segment %d connects out-of-range traps (%d,%d)", i, s.A, s.B)
+		}
+		if s.A == s.B {
+			return nil, fmt.Errorf("device: segment %d is a self-loop on trap %d", i, s.A)
+		}
+		if s.Junctions < 0 {
+			return nil, fmt.Errorf("device: segment %d has negative junction count", i)
+		}
+		t.adj[s.A] = append(t.adj[s.A], i)
+		t.adj[s.B] = append(t.adj[s.B], i)
+	}
+	t.computePaths()
+	for i := range traps {
+		for j := range traps {
+			if i != j && t.next[i][j] < 0 {
+				return nil, fmt.Errorf("device: topology %q is disconnected (no path %d -> %d)", name, i, j)
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New, panicking on error; for the fixed layout constructors.
+func MustNew(name string, traps []Trap, segments []Segment) *Topology {
+	t, err := New(name, traps, segments)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumTraps returns the trap count.
+func (t *Topology) NumTraps() int { return len(t.Traps) }
+
+// TotalCapacity sums all trap capacities.
+func (t *Topology) TotalCapacity() int {
+	n := 0
+	for _, tr := range t.Traps {
+		n += tr.Capacity
+	}
+	return n
+}
+
+// SegmentWeight is the static-graph edge weight for a shuttle across s:
+// 1 for a plain segment plus 1 per junction (Sec. 4.2's w(j+1) rule).
+func SegmentWeight(s Segment) float64 { return float64(1 + s.Junctions) }
+
+// SegmentsAt returns the ids of segments attached to trap tr.
+func (t *Topology) SegmentsAt(tr int) []int { return t.adj[tr] }
+
+// TrapDistance returns the shuttle-weight distance between two traps.
+func (t *Topology) TrapDistance(a, b int) float64 { return t.dist[a][b] }
+
+// NextSegment returns the first segment on a shortest path from trap a
+// toward trap b, or -1 when a == b.
+func (t *Topology) NextSegment(a, b int) int {
+	if a == b {
+		return -1
+	}
+	return t.next[a][b]
+}
+
+// TrapPath returns the segment ids along a shortest path from a to b.
+func (t *Topology) TrapPath(a, b int) []int {
+	var path []int
+	for a != b {
+		seg := t.next[a][b]
+		if seg < 0 {
+			return nil
+		}
+		path = append(path, seg)
+		a = t.Segments[seg].Other(a)
+	}
+	return path
+}
+
+// computePaths runs Dijkstra from every trap. Device sizes are tiny
+// (≤ tens of traps), so a simple O(V²) scan per source suffices.
+func (t *Topology) computePaths() {
+	n := len(t.Traps)
+	t.dist = make([][]float64, n)
+	t.next = make([][]int, n)
+	for src := 0; src < n; src++ {
+		dist := make([]float64, n)
+		next := make([]int, n)
+		visited := make([]bool, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			next[i] = -1
+		}
+		dist[src] = 0
+		for {
+			u, best := -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if !visited[i] && dist[i] < best {
+					u, best = i, dist[i]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			visited[u] = true
+			for _, si := range t.adj[u] {
+				s := t.Segments[si]
+				v := s.Other(u)
+				if nd := dist[u] + SegmentWeight(s); nd < dist[v]-1e-12 {
+					dist[v] = nd
+					if u == src {
+						next[v] = si
+					} else {
+						next[v] = next[u]
+					}
+				}
+			}
+		}
+		t.dist[src] = dist
+		t.next[src] = next
+	}
+}
+
+// Neighbors returns trap ids adjacent to tr, sorted ascending.
+func (t *Topology) Neighbors(tr int) []int {
+	var out []int
+	for _, si := range t.adj[tr] {
+		out = append(out, t.Segments[si].Other(tr))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- Fig. 7 layout constructors ----
+
+// Linear builds an L-series device: n traps in a row connected by plain
+// (junction-free) segments. L-4 and L-6 in the paper.
+func Linear(n, capacity int) *Topology {
+	traps := make([]Trap, n)
+	for i := range traps {
+		traps[i] = Trap{ID: i, Capacity: capacity}
+	}
+	var segs []Segment
+	for i := 0; i+1 < n; i++ {
+		segs = append(segs, Segment{A: i, B: i + 1, EndA: EndRight, EndB: EndLeft, Junctions: 0, Hops: 1})
+	}
+	return MustNew(fmt.Sprintf("L-%d", n), traps, segs)
+}
+
+// Grid builds a G-series device: rows×cols traps on a grid. Each
+// inter-trap segment crosses one X-junction (weight 2), reflecting the
+// junction-routed interconnect of grid QCCD chips. Horizontal neighbours
+// attach end-to-end; vertical neighbours attach through the same trap ends
+// via the junction fabric.
+func Grid(rows, cols, capacity int) *Topology {
+	n := rows * cols
+	traps := make([]Trap, n)
+	for i := range traps {
+		traps[i] = Trap{ID: i, Capacity: capacity}
+	}
+	id := func(r, c int) int { return r*cols + c }
+	var segs []Segment
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				segs = append(segs, Segment{
+					A: id(r, c), B: id(r, c+1),
+					EndA: EndRight, EndB: EndLeft,
+					Junctions: 1, Hops: 1,
+				})
+			}
+			if r+1 < rows {
+				segs = append(segs, Segment{
+					A: id(r, c), B: id(r+1, c),
+					EndA: EndRight, EndB: EndLeft,
+					Junctions: 1, Hops: 1,
+				})
+			}
+		}
+	}
+	return MustNew(fmt.Sprintf("G-%dx%d", rows, cols), traps, segs)
+}
+
+// Star builds an S-series device: n traps with a junction-free segment
+// between every pair (the racetrack-style fully connected variant of
+// Quantinuum's HELIOS generation). Segments from trap i to higher-numbered
+// traps leave via the right end, to lower via the left.
+func Star(n, capacity int) *Topology {
+	traps := make([]Trap, n)
+	for i := range traps {
+		traps[i] = Trap{ID: i, Capacity: capacity}
+	}
+	var segs []Segment
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			segs = append(segs, Segment{A: i, B: j, EndA: EndRight, EndB: EndLeft, Junctions: 0, Hops: 1})
+		}
+	}
+	return MustNew(fmt.Sprintf("S-%d", n), traps, segs)
+}
+
+// Racetrack builds an R-series device: n traps on a closed ring connected
+// by plain segments — the topology of Quantinuum's racetrack-style H2
+// processor generation referenced in Sec. 2.3.
+func Racetrack(n, capacity int) *Topology {
+	if n < 3 {
+		panic(fmt.Sprintf("device: racetrack needs >= 3 traps, got %d", n))
+	}
+	traps := make([]Trap, n)
+	for i := range traps {
+		traps[i] = Trap{ID: i, Capacity: capacity}
+	}
+	var segs []Segment
+	for i := 0; i < n; i++ {
+		segs = append(segs, Segment{A: i, B: (i + 1) % n, EndA: EndRight, EndB: EndLeft, Junctions: 0, Hops: 1})
+	}
+	return MustNew(fmt.Sprintf("R-%d", n), traps, segs)
+}
+
+// ByName constructs one of the paper's named topologies ("L-6", "G-2x3",
+// "S-4", "R-6", ...) with the given per-trap capacity.
+func ByName(name string, capacity int) (*Topology, error) {
+	var a, b int
+	switch {
+	case len(name) > 2 && name[0] == 'R':
+		if _, err := fmt.Sscanf(name, "R-%d", &a); err != nil {
+			return nil, fmt.Errorf("device: malformed R-series name %q", name)
+		}
+		if a < 3 {
+			return nil, fmt.Errorf("device: racetrack needs >= 3 traps")
+		}
+		return Racetrack(a, capacity), nil
+	case len(name) > 2 && name[0] == 'L':
+		if _, err := fmt.Sscanf(name, "L-%d", &a); err != nil {
+			return nil, fmt.Errorf("device: malformed L-series name %q", name)
+		}
+		return Linear(a, capacity), nil
+	case len(name) > 2 && name[0] == 'S':
+		if _, err := fmt.Sscanf(name, "S-%d", &a); err != nil {
+			return nil, fmt.Errorf("device: malformed S-series name %q", name)
+		}
+		return Star(a, capacity), nil
+	case len(name) > 2 && name[0] == 'G':
+		if _, err := fmt.Sscanf(name, "G-%dx%d", &a, &b); err != nil {
+			return nil, fmt.Errorf("device: malformed G-series name %q", name)
+		}
+		return Grid(a, b, capacity), nil
+	}
+	return nil, fmt.Errorf("device: unknown topology %q (want L-n, G-rxc, S-n or R-n)", name)
+}
+
+// PaperCapacity returns the per-trap capacity the paper pairs with each
+// benchmark topology so that total ion capacity stays near 200 (Sec. 4.2):
+// S-4: 22, G-2x2: 22, G-2x3: 17, G-3x3: 12, L-4: 22, L-6: 17.
+func PaperCapacity(name string) int {
+	switch name {
+	case "S-4", "G-2x2", "L-4":
+		return 22
+	case "G-2x3", "L-6":
+		return 17
+	case "G-3x3":
+		return 12
+	default:
+		return 17
+	}
+}

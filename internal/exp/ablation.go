@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/sim"
+	"ssync/internal/workloads"
+)
+
+// AblationRow measures one scheduler variant on one workload.
+type AblationRow struct {
+	App       string
+	Topo      string
+	Variant   string
+	Shuttles  int
+	Swaps     int
+	Success   float64
+	Fallbacks int
+}
+
+// ablationVariants enumerates the design choices DESIGN.md calls out, each
+// disabled in isolation against the full configuration.
+func ablationVariants() []struct {
+	name string
+	mut  func(*core.Config)
+} {
+	return []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"full", func(*core.Config) {}},
+		{"no-lookahead", func(c *core.Config) { c.LookaheadGates = 0 }},
+		{"no-decay", func(c *core.Config) { c.Delta = 0 }},
+		{"no-pen", func(c *core.Config) { c.PenWeight = 0 }},
+		{"no-path-trunc", func(c *core.Config) { c.PathLimit = 0 }},
+		{"heat-aware", func(c *core.Config) { c.HeatAware = true }},
+		{"commutation", func(c *core.Config) { c.CommutationAware = true }},
+	}
+}
+
+// Ablation quantifies each S-SYNC design choice by disabling it in
+// isolation (plus the heat-aware extension, enabled in isolation) across
+// representative communication patterns.
+func Ablation(opt Options) (string, []AblationRow, error) {
+	type workload struct {
+		app  string
+		topo string
+		cap  int
+	}
+	grid := []workload{
+		{"QFT_24", "G-2x3", 17},
+		{"Adder_32", "L-4", 22},
+		{"BV_64", "G-2x3", 17},
+		{"QAOA_64", "S-4", 22},
+	}
+	if opt.Quick {
+		grid = []workload{
+			{"QFT_12", "G-2x2", 5},
+			{"BV_12", "L-4", 5},
+		}
+	}
+	var rows []AblationRow
+	for _, w := range grid {
+		c, err := workloads.Build(w.app)
+		if err != nil {
+			return "", nil, err
+		}
+		topo, err := device.ByName(w.topo, w.cap)
+		if err != nil {
+			return "", nil, err
+		}
+		if topo.TotalCapacity() < c.NumQubits {
+			continue
+		}
+		for _, v := range ablationVariants() {
+			cfg := core.DefaultConfig()
+			v.mut(&cfg)
+			res, err := core.Compile(cfg, c, topo)
+			if err != nil {
+				return "", nil, fmt.Errorf("exp: ablation %s on %s: %w", v.name, w.app, err)
+			}
+			m := sim.Run(res.Schedule, topo, sim.DefaultOptions())
+			rows = append(rows, AblationRow{
+				App: w.app, Topo: w.topo, Variant: v.name,
+				Shuttles: res.Counts.Shuttles, Swaps: res.Counts.Swaps,
+				Success: m.SuccessRate, Fallbacks: res.Fallbacks,
+			})
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Ablation — S-SYNC design choices disabled in isolation\n")
+	fmt.Fprintf(&b, "%-10s %-7s %-14s %9s %6s %13s %4s\n",
+		"app", "topo", "variant", "shuttles", "swaps", "success", "fb")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-7s %-14s %9d %6d %13.3e %4d\n",
+			r.App, r.Topo, r.Variant, r.Shuttles, r.Swaps, r.Success, r.Fallbacks)
+	}
+	return b.String(), rows, nil
+}

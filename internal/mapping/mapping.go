@@ -1,0 +1,447 @@
+// Package mapping implements the paper's two-level initial qubit mapping
+// (Sec. 3.4): a first level assigning program qubits to traps (even-divided,
+// gathering, or STA) and a second level ordering qubits inside each trap
+// into the "mountain" profile of Eq. 3, with likely-to-shuttle qubits at
+// the trap edges.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+)
+
+// Strategy selects the first-level trap assignment.
+type Strategy int
+
+const (
+	// EvenDivided spreads qubits uniformly across traps (distributed-NISQ
+	// style).
+	EvenDivided Strategy = iota
+	// Gathering packs qubits into as few traps as possible, reserving one
+	// space per trap for incoming ions.
+	Gathering
+	// STA orders qubits by spatio-temporal interaction correlation before
+	// packing, keeping strongly-coupled qubits adjacent (Ovide et al.).
+	STA
+)
+
+var strategyNames = [...]string{"even-divided", "gathering", "sta"}
+
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy parses a strategy name ("even-divided", "gathering", "sta").
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("mapping: unknown strategy %q (want even-divided, gathering or sta)", name)
+}
+
+// Config tunes the mapper. Zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	Strategy Strategy
+	// Alpha and Beta weight the external/internal interaction terms of
+	// Eq. 3: l(q) = -Alpha·E(q) + Beta·I(q).
+	Alpha, Beta float64
+	// Lookahead is the DAG layer window k of Eq. 3 (paper: 8).
+	Lookahead int
+}
+
+// DefaultConfig mirrors the paper's settings (gathering mapping, k = 8).
+func DefaultConfig() Config {
+	return Config{Strategy: Gathering, Alpha: 1, Beta: 1, Lookahead: 8}
+}
+
+// Initial computes an initial placement of c's qubits on topo.
+func Initial(cfg Config, c *circuit.Circuit, topo *device.Topology) (*device.Placement, error) {
+	if c.NumQubits > topo.TotalCapacity() {
+		return nil, fmt.Errorf("mapping: circuit needs %d qubits but device holds %d",
+			c.NumQubits, topo.TotalCapacity())
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 8
+	}
+	var order []int
+	switch cfg.Strategy {
+	case STA:
+		order = staOrder(c)
+	default:
+		order = identityOrder(c.NumQubits)
+	}
+	var trapOf []int
+	var err error
+	switch cfg.Strategy {
+	case EvenDivided:
+		trapOf, err = assignEven(order, topo)
+	case Gathering, STA:
+		trapOf, err = AssignPacked(order, topo, 1)
+	default:
+		return nil, fmt.Errorf("mapping: unknown strategy %v", cfg.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return PlaceInTraps(cfg, c, topo, trapOf)
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// TrapFillOrder returns trap ids in BFS order from trap 0, so that
+// consecutive blocks of qubits land in adjacent traps.
+func TrapFillOrder(topo *device.Topology) []int {
+	n := topo.NumTraps()
+	seen := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		tr := queue[0]
+		queue = queue[1:]
+		order = append(order, tr)
+		for _, nb := range topo.Neighbors(tr) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return order
+}
+
+// assignEven spreads qubits across all traps as uniformly as possible,
+// preserving the given qubit order along the BFS trap order.
+func assignEven(order []int, topo *device.Topology) ([]int, error) {
+	n := len(order)
+	traps := TrapFillOrder(topo)
+	trapOf := make([]int, n)
+	// Per-trap share proportional to capacity, rounded to spread remainder.
+	shares := make([]int, len(traps))
+	remaining := n
+	for i, tr := range traps {
+		left := len(traps) - i
+		share := (remaining + left - 1) / left
+		if c := topo.Traps[tr].Capacity; share > c {
+			share = c
+		}
+		shares[i] = share
+		remaining -= share
+	}
+	if remaining > 0 {
+		// Capacities were binding; distribute leftovers anywhere with room.
+		for i, tr := range traps {
+			room := topo.Traps[tr].Capacity - shares[i]
+			take := room
+			if take > remaining {
+				take = remaining
+			}
+			shares[i] += take
+			remaining -= take
+		}
+		if remaining > 0 {
+			return nil, fmt.Errorf("mapping: device too small for %d qubits", n)
+		}
+	}
+	idx := 0
+	for i, tr := range traps {
+		for j := 0; j < shares[i]; j++ {
+			trapOf[order[idx]] = tr
+			idx++
+		}
+	}
+	return trapOf, nil
+}
+
+// AssignPacked packs qubits (in the given order) into traps along the BFS
+// fill order, reserving `reserve` free slots per trap. It relaxes the
+// reservation when the device would otherwise be too small. Exported
+// because the Murali baseline uses the same policy with reserve = 2.
+func AssignPacked(order []int, topo *device.Topology, reserve int) ([]int, error) {
+	n := len(order)
+	traps := TrapFillOrder(topo)
+	for {
+		room := 0
+		for _, tr := range traps {
+			c := topo.Traps[tr].Capacity - reserve
+			if c > 0 {
+				room += c
+			}
+		}
+		if room >= n {
+			break
+		}
+		if reserve == 0 {
+			return nil, fmt.Errorf("mapping: device too small for %d qubits", n)
+		}
+		reserve--
+	}
+	trapOf := make([]int, n)
+	idx := 0
+	for _, tr := range traps {
+		c := topo.Traps[tr].Capacity - reserve
+		for j := 0; j < c && idx < n; j++ {
+			trapOf[order[idx]] = tr
+			idx++
+		}
+		if idx == n {
+			break
+		}
+	}
+	return trapOf, nil
+}
+
+// staOrder orders qubits by spatio-temporal interaction correlation:
+// earlier gates weigh more, and the order greedily grows a chain that keeps
+// strongly-coupled qubits adjacent.
+func staOrder(c *circuit.Circuit) []int {
+	n := c.NumQubits
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	gi := 0
+	for _, g := range c.Gates {
+		if !g.IsTwoQubit() {
+			continue
+		}
+		gi++
+		a, b := g.Qubits[0], g.Qubits[1]
+		// Temporal decay: early interactions dominate the initial layout.
+		wt := 1.0 / float64(gi)
+		w[a][b] += wt
+		w[b][a] += wt
+	}
+	strength := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			strength[i] += w[i][j]
+		}
+	}
+	used := make([]bool, n)
+	// Seed with the most-interacting qubit.
+	seed := 0
+	for i := 1; i < n; i++ {
+		if strength[i] > strength[seed] {
+			seed = i
+		}
+	}
+	order := []int{seed}
+	used[seed] = true
+	for len(order) < n {
+		tail := order[len(order)-1]
+		best, bestW := -1, -1.0
+		for j := 0; j < n; j++ {
+			if !used[j] && w[tail][j] > bestW {
+				best, bestW = j, w[tail][j]
+			}
+		}
+		if bestW <= 0 {
+			// No coupling to the tail: attach the qubit most coupled to the
+			// ordered prefix, so interaction clusters stay contiguous.
+			best, bestW = -1, -1.0
+			for j := 0; j < n; j++ {
+				if used[j] {
+					continue
+				}
+				sum := 0.0
+				for _, k := range order {
+					sum += w[k][j]
+				}
+				if sum > bestW {
+					best, bestW = j, sum
+				}
+			}
+			if bestW <= 0 {
+				// Fully disconnected from the prefix: strongest remaining.
+				best = -1
+				for j := 0; j < n; j++ {
+					if !used[j] && (best < 0 || strength[j] > strength[best]) {
+						best = j
+					}
+				}
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order
+}
+
+// PlaceInTraps performs the second-level intra-trap arrangement for a given
+// first-level assignment trapOf, returning the finished placement. Qubit
+// scores follow Eq. 3, l(q) = -α·E(q) + β·I(q), with interactions
+// discounted by DAG layer over a cfg.Lookahead half-life; each trap's queue
+// is arranged into the paper's "mountain" profile — low-l qubits at the
+// edges, high-l in the centre — with each edge-bound qubit steered to the
+// specific end facing its external partners, and the trap's free slots
+// split between the two ends.
+func PlaceInTraps(cfg Config, c *circuit.Circuit, topo *device.Topology, trapOf []int) (*device.Placement, error) {
+	if len(trapOf) != c.NumQubits {
+		return nil, fmt.Errorf("mapping: trapOf has %d entries for %d qubits", len(trapOf), c.NumQubits)
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 8
+	}
+	stats, err := interactionStats(c, trapOf, topo, cfg.Lookahead)
+	if err != nil {
+		return nil, err
+	}
+	byTrap := make(map[int][]int)
+	for q, tr := range trapOf {
+		if tr < 0 || tr >= topo.NumTraps() {
+			return nil, fmt.Errorf("mapping: qubit %d assigned to invalid trap %d", q, tr)
+		}
+		byTrap[tr] = append(byTrap[tr], q)
+	}
+	p := device.NewPlacement(topo, c.NumQubits)
+	for tr, qs := range byTrap {
+		cap := topo.Traps[tr].Capacity
+		if len(qs) > cap {
+			return nil, fmt.Errorf("mapping: %d qubits assigned to trap %d of capacity %d", len(qs), tr, cap)
+		}
+		arranged := mountainOrder(qs, stats, cfg)
+		// Centre the chain; spaces split between the two ends (left gets
+		// the extra slot when odd) so both ends can immediately shuttle.
+		offset := (cap - len(arranged)) / 2
+		for i, q := range arranged {
+			if err := p.Place(q, tr, offset+i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// qubitStats carries the Eq. 3 ingredients for one qubit: discounted
+// internal interaction weight I, external weight E, and the external weight
+// split by which end of the qubit's trap faces the partner trap.
+type qubitStats struct {
+	i, e          float64
+	eLeft, eRight float64
+}
+
+// interactionStats computes per-qubit interaction statistics. Gate weights
+// decay exponentially with DAG layer (half-life k = cfg lookahead), the
+// smooth analogue of the paper's first-k-layers window that still sees the
+// whole program.
+func interactionStats(c *circuit.Circuit, trapOf []int, topo *device.Topology, k int) ([]qubitStats, error) {
+	stats := make([]qubitStats, c.NumQubits)
+	layer := make([]int, c.NumQubits)
+	for _, g := range c.Gates {
+		if g.Name == "barrier" {
+			continue
+		}
+		max := 0
+		for _, q := range g.Qubits {
+			if layer[q] > max {
+				max = layer[q]
+			}
+		}
+		for _, q := range g.Qubits {
+			layer[q] = max + 1
+		}
+		if !g.IsTwoQubit() {
+			continue
+		}
+		w := math.Exp2(-float64(max) / float64(k))
+		a, b := g.Qubits[0], g.Qubits[1]
+		if trapOf[a] == trapOf[b] {
+			stats[a].i += w
+			stats[b].i += w
+			continue
+		}
+		for _, pair := range [2][2]int{{a, b}, {b, a}} {
+			q, partner := pair[0], pair[1]
+			stats[q].e += w
+			segID := topo.NextSegment(trapOf[q], trapOf[partner])
+			if segID < 0 {
+				return nil, fmt.Errorf("mapping: traps %d and %d are disconnected", trapOf[q], trapOf[partner])
+			}
+			if topo.Segments[segID].EndAt(trapOf[q]) == device.EndLeft {
+				stats[q].eLeft += w
+			} else {
+				stats[q].eRight += w
+			}
+		}
+	}
+	return stats, nil
+}
+
+// mountainOrder arranges qs into the Eq. 3 mountain: qubits sorted by
+// l(q) = -α·E + β·I ascending are placed outside-in, each edge-bound qubit
+// on the end its external interactions favour.
+func mountainOrder(qs []int, stats []qubitStats, cfg Config) []int {
+	sorted := append([]int(nil), qs...)
+	l := func(q int) float64 {
+		return -cfg.Alpha*stats[q].e + cfg.Beta*stats[q].i
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		la, lb := l(sorted[a]), l(sorted[b])
+		if la != lb {
+			return la < lb
+		}
+		return sorted[a] < sorted[b]
+	})
+	out := make([]int, len(sorted))
+	lo, hi := 0, len(sorted)-1
+	for _, q := range sorted {
+		var preferLeft bool
+		switch {
+		case stats[q].eLeft != stats[q].eRight:
+			preferLeft = stats[q].eLeft > stats[q].eRight
+		default:
+			// No directional signal: balance the two sides.
+			preferLeft = lo-0 <= len(sorted)-1-hi
+		}
+		if preferLeft && lo <= hi {
+			out[lo] = q
+			lo++
+		} else {
+			out[hi] = q
+			hi--
+		}
+	}
+	return out
+}
+
+// FirstUseOrder returns qubits ordered by their first appearance in the
+// program (idle qubits last, in index order) — the greedy placement order
+// of the Murali et al. baseline.
+func FirstUseOrder(c *circuit.Circuit) []int {
+	seen := make([]bool, c.NumQubits)
+	var order []int
+	for _, g := range c.Gates {
+		if g.Name == "barrier" {
+			continue
+		}
+		for _, q := range g.Qubits {
+			if !seen[q] {
+				seen[q] = true
+				order = append(order, q)
+			}
+		}
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if !seen[q] {
+			order = append(order, q)
+		}
+	}
+	return order
+}

@@ -1,0 +1,288 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+	"ssync/internal/workloads"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"even-divided", "gathering", "sta"} {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != name {
+			t.Errorf("round trip %q -> %q", name, s)
+		}
+	}
+	if _, err := ParseStrategy("magic"); err == nil {
+		t.Error("ParseStrategy(magic) should fail")
+	}
+}
+
+func TestTrapFillOrderBFS(t *testing.T) {
+	topo := device.Grid(2, 3, 10)
+	order := TrapFillOrder(topo)
+	if len(order) != 6 {
+		t.Fatalf("order covers %d traps, want 6", len(order))
+	}
+	if order[0] != 0 {
+		t.Errorf("fill order starts at %d, want 0", order[0])
+	}
+	seen := map[int]bool{}
+	for _, tr := range order {
+		if seen[tr] {
+			t.Fatalf("trap %d repeated in fill order", tr)
+		}
+		seen[tr] = true
+	}
+}
+
+func TestGatheringPacks(t *testing.T) {
+	topo := device.Linear(4, 10)
+	c := workloads.QFT(18)
+	p, err := Initial(Config{Strategy: Gathering, Alpha: 1, Beta: 1, Lookahead: 8}, c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 18 qubits, reserve 1 per trap -> 9 + 9 in the first two traps.
+	if p.IonCount(0) != 9 || p.IonCount(1) != 9 {
+		t.Errorf("gathering counts = %d,%d,%d,%d; want 9,9,0,0",
+			p.IonCount(0), p.IonCount(1), p.IonCount(2), p.IonCount(3))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenDividedSpreads(t *testing.T) {
+	topo := device.Linear(4, 10)
+	c := workloads.QFT(18)
+	p, err := Initial(Config{Strategy: EvenDivided, Alpha: 1, Beta: 1, Lookahead: 8}, c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 0; tr < 4; tr++ {
+		if n := p.IonCount(tr); n < 4 || n > 5 {
+			t.Errorf("even-divided trap %d holds %d ions, want 4-5", tr, n)
+		}
+	}
+}
+
+func TestSTAKeepsCoupledQubitsTogether(t *testing.T) {
+	// Two independent clusters {0,1,2} and {3,4,5} that interact only
+	// internally must not be interleaved across traps by STA.
+	c := circuit.NewCircuit(6)
+	for i := 0; i < 10; i++ {
+		c.CX(0, 1).CX(1, 2).CX(3, 4).CX(4, 5)
+	}
+	topo := device.Linear(2, 4)
+	p, err := Initial(Config{Strategy: STA, Alpha: 1, Beta: 1, Lookahead: 8}, c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trapOf := func(q int) int { return p.Where(q).Trap }
+	if trapOf(0) != trapOf(1) || trapOf(1) != trapOf(2) {
+		t.Errorf("cluster {0,1,2} split across traps: %d %d %d", trapOf(0), trapOf(1), trapOf(2))
+	}
+	if trapOf(3) != trapOf(4) || trapOf(4) != trapOf(5) {
+		t.Errorf("cluster {3,4,5} split across traps: %d %d %d", trapOf(3), trapOf(4), trapOf(5))
+	}
+}
+
+func TestCapacityError(t *testing.T) {
+	topo := device.Linear(2, 3)
+	c := workloads.QFT(10)
+	if _, err := Initial(DefaultConfig(), c, topo); err == nil {
+		t.Error("over-capacity mapping accepted")
+	}
+}
+
+func TestGatheringRelaxesReserveWhenTight(t *testing.T) {
+	// 8 qubits on 2 traps of 4: the 1-slot reservation must relax.
+	topo := device.Linear(2, 4)
+	c := workloads.QFT(8)
+	p, err := Initial(DefaultConfig(), c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IonCount(0)+p.IonCount(1) != 8 {
+		t.Errorf("placed %d ions, want 8", p.IonCount(0)+p.IonCount(1))
+	}
+}
+
+func TestMountainOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	// Five qubits: 0 external-left heavy, 1 external-right heavy, 2-4
+	// increasingly internal.
+	stats := []qubitStats{
+		{e: 5, eLeft: 5},
+		{e: 4, eRight: 4},
+		{i: 1},
+		{i: 2},
+		{i: 3},
+	}
+	out := mountainOrder([]int{0, 1, 2, 3, 4}, stats, cfg)
+	l := func(q int) float64 { return -cfg.Alpha*stats[q].e + cfg.Beta*stats[q].i }
+	// Mountain shape: l rises to a peak then falls.
+	peak := 0
+	for i := 1; i < len(out); i++ {
+		if l(out[i]) > l(out[peak]) {
+			peak = i
+		}
+	}
+	for i := 1; i <= peak; i++ {
+		if l(out[i]) < l(out[i-1]) {
+			t.Fatalf("not increasing before peak: %v", out)
+		}
+	}
+	for i := peak + 1; i < len(out); i++ {
+		if l(out[i]) > l(out[i-1]) {
+			t.Fatalf("not decreasing after peak: %v", out)
+		}
+	}
+	// Directional steering: q0 (left-external) on the left end, q1
+	// (right-external) on the right end.
+	if out[0] != 0 {
+		t.Errorf("left end = q%d, want q0", out[0])
+	}
+	if out[len(out)-1] != 1 {
+		t.Errorf("right end = q%d, want q1", out[len(out)-1])
+	}
+}
+
+func TestMountainOrderSteersBoundaryQubits(t *testing.T) {
+	// Sequential chain circuit across two traps: the boundary qubits must
+	// land on the facing edges (this is what keeps SWAP counts low).
+	n := 8
+	c := circuit.NewCircuit(n)
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i+1 < n; i++ {
+			c.CX(i, i+1)
+		}
+	}
+	topo := device.Linear(2, 4)
+	trapOf := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	p, err := PlaceInTraps(DefaultConfig(), c, topo, trapOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment attaches right end of trap 0 to left end of trap 1: q3 must
+	// be at trap 0's right edge, q4 at trap 1's left edge.
+	if p.Where(3) != (device.Loc{Trap: 0, Slot: 3}) {
+		t.Errorf("boundary qubit 3 at %v, want trap 0 right edge", p.Where(3))
+	}
+	if p.Where(4) != (device.Loc{Trap: 1, Slot: 0}) {
+		t.Errorf("boundary qubit 4 at %v, want trap 1 left edge", p.Where(4))
+	}
+}
+
+func TestFirstUseOrder(t *testing.T) {
+	c := circuit.NewCircuit(4)
+	c.CX(2, 1).H(0).CX(0, 3)
+	got := FirstUseOrder(c)
+	want := []int{2, 1, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FirstUseOrder = %v, want %v", got, want)
+		}
+	}
+	// Idle qubits appended.
+	c2 := circuit.NewCircuit(3)
+	c2.H(1)
+	got2 := FirstUseOrder(c2)
+	if got2[0] != 1 || len(got2) != 3 {
+		t.Errorf("FirstUseOrder with idle qubits = %v", got2)
+	}
+}
+
+// Property: every strategy yields a valid placement containing each qubit
+// exactly once, for random circuits and devices with sufficient capacity.
+func TestInitialPlacementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topos := []*device.Topology{
+			device.Linear(3, 6), device.Grid(2, 2, 5), device.Star(4, 5),
+		}
+		topo := topos[r.Intn(len(topos))]
+		nq := 2 + r.Intn(topo.TotalCapacity()-topo.NumTraps()-2)
+		c := circuit.NewCircuit(nq)
+		for i := 0; i < 20; i++ {
+			a := r.Intn(nq)
+			b := r.Intn(nq - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+		for _, s := range []Strategy{EvenDivided, Gathering, STA} {
+			p, err := Initial(Config{Strategy: s, Alpha: 1, Beta: 1, Lookahead: 8}, c, topo)
+			if err != nil {
+				return false
+			}
+			if p.CheckInvariants() != nil {
+				return false
+			}
+			total := 0
+			for tr := 0; tr < topo.NumTraps(); tr++ {
+				total += p.IonCount(tr)
+			}
+			if total != nq {
+				return false
+			}
+			for q := 0; q < nq; q++ {
+				if p.Where(q).Trap < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInteractionStats(t *testing.T) {
+	c := circuit.NewCircuit(4)
+	c.CX(0, 1) // same trap below
+	c.CX(0, 2) // cross trap
+	topo := device.Linear(2, 4)
+	trapOf := []int{0, 0, 1, 1}
+	stats, err := interactionStats(c, trapOf, topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].i <= 0 || stats[1].i <= 0 {
+		t.Errorf("intra weights = %v %v, want > 0", stats[0].i, stats[1].i)
+	}
+	if stats[0].e <= 0 || stats[2].e <= 0 {
+		t.Errorf("inter weights = %v %v, want > 0", stats[0].e, stats[2].e)
+	}
+	// q0's partner trap 1 sits off trap 0's right end; q2's partner trap 0
+	// sits off trap 1's left end.
+	if stats[0].eRight <= 0 || stats[0].eLeft != 0 {
+		t.Errorf("q0 direction: left=%g right=%g, want right-only", stats[0].eLeft, stats[0].eRight)
+	}
+	if stats[2].eLeft <= 0 || stats[2].eRight != 0 {
+		t.Errorf("q2 direction: left=%g right=%g, want left-only", stats[2].eLeft, stats[2].eRight)
+	}
+	// Later gates weigh less than earlier ones (exponential discount).
+	c2 := circuit.NewCircuit(2)
+	for i := 0; i < 40; i++ {
+		c2.CX(0, 1)
+	}
+	stats2, err := interactionStats(c2, []int{0, 0}, topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discounted sum over 40 layers with half-life 8 is well below 40.
+	if stats2[0].i >= 20 {
+		t.Errorf("discount not applied: i = %g", stats2[0].i)
+	}
+}

@@ -1,0 +1,138 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateTimes(t *testing.T) {
+	// FM: max(13.33N - 54, 100).
+	if got := FM.TwoQubitTime(2, 0); got != 100 {
+		t.Errorf("FM(2) = %g, want 100 (floor)", got)
+	}
+	if got, want := FM.TwoQubitTime(20, 0), 13.33*20-54; math.Abs(got-want) > 1e-9 {
+		t.Errorf("FM(20) = %g, want %g", got, want)
+	}
+	// PM: 5d + 160.
+	if got := PM.TwoQubitTime(10, 4); got != 180 {
+		t.Errorf("PM(d=4) = %g, want 180", got)
+	}
+	// AM1: 100d - 22 with floor.
+	if got := AM1.TwoQubitTime(10, 3); got != 278 {
+		t.Errorf("AM1(d=3) = %g, want 278", got)
+	}
+	if got := AM1.TwoQubitTime(10, 0); got != 30 {
+		t.Errorf("AM1(d=0) = %g, want clamped 30", got)
+	}
+	// AM2: 38d + 10.
+	if got := AM2.TwoQubitTime(10, 2); got != 86 {
+		t.Errorf("AM2(d=2) = %g, want 86", got)
+	}
+}
+
+func TestParseGateModel(t *testing.T) {
+	for _, name := range []string{"FM", "PM", "AM1", "AM2"} {
+		m, err := ParseGateModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != name {
+			t.Errorf("round trip %q -> %q", name, m.String())
+		}
+	}
+	if _, err := ParseGateModel("XYZ"); err == nil {
+		t.Error("ParseGateModel(XYZ) should fail")
+	}
+}
+
+func TestJunctionTime(t *testing.T) {
+	p := DefaultParams()
+	// Table 1: 40 + 20*n per junction; default 4-path junction = 120 µs.
+	if got := p.JunctionTime(1); got != 120 {
+		t.Errorf("JunctionTime(1) = %g, want 120", got)
+	}
+	if got := p.JunctionTime(2); got != 240 {
+		t.Errorf("JunctionTime(2) = %g, want 240", got)
+	}
+	if got := p.JunctionTime(0); got != 0 {
+		t.Errorf("JunctionTime(0) = %g, want 0", got)
+	}
+}
+
+func TestTable1Defaults(t *testing.T) {
+	p := DefaultParams()
+	if p.MoveTime != 5 || p.SplitTime != 80 || p.MergeTime != 80 {
+		t.Errorf("Table 1 transport times wrong: move=%g split=%g merge=%g",
+			p.MoveTime, p.SplitTime, p.MergeTime)
+	}
+	if p.Gamma != 1 || p.K1 != 0.1 || p.K2 != 0.01 {
+		t.Errorf("Sec. 4.2 heating constants wrong: Γ=%g k1=%g k2=%g", p.Gamma, p.K1, p.K2)
+	}
+	if p.OneQubitFidelity != 0.999999 {
+		t.Errorf("1Q fidelity = %g, want 0.999999", p.OneQubitFidelity)
+	}
+}
+
+func TestAmplitudeFactor(t *testing.T) {
+	p := DefaultParams()
+	// A = A0 * N / ln N; monotone increasing for N >= 3.
+	prev := p.AmplitudeFactor(3)
+	for n := 4; n <= 30; n++ {
+		cur := p.AmplitudeFactor(n)
+		if cur <= prev {
+			t.Fatalf("AmplitudeFactor not increasing at N=%d: %g <= %g", n, cur, prev)
+		}
+		prev = cur
+	}
+	// Clamp below 2.
+	if p.AmplitudeFactor(1) != p.AmplitudeFactor(2) {
+		t.Error("AmplitudeFactor should clamp N to 2")
+	}
+}
+
+func TestTwoQubitFidelity(t *testing.T) {
+	p := DefaultParams()
+	// Sane range and monotonicity in nbar and tau.
+	f0 := p.TwoQubitFidelity(100, 10, 0)
+	if f0 <= 0.99 || f0 >= 1 {
+		t.Errorf("baseline fidelity = %g, expected slightly below 1", f0)
+	}
+	if f1 := p.TwoQubitFidelity(100, 10, 5); f1 >= f0 {
+		t.Errorf("fidelity should fall with heating: %g >= %g", f1, f0)
+	}
+	if f2 := p.TwoQubitFidelity(1000, 10, 0); f2 >= f0 {
+		t.Errorf("fidelity should fall with duration: %g >= %g", f2, f0)
+	}
+	// Clamped at 0 for absurd heating.
+	if f := p.TwoQubitFidelity(100, 10, 1e9); f != 0 {
+		t.Errorf("fidelity = %g, want clamp to 0", f)
+	}
+}
+
+func TestFidelityBoundsProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(tau float64, n int, nbar float64) bool {
+		tau = math.Abs(tau)
+		nbar = math.Abs(nbar)
+		if n < 0 {
+			n = -n
+		}
+		got := p.TwoQubitFidelity(tau, n%100, nbar)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapTime(t *testing.T) {
+	p := DefaultParams()
+	if got, want := p.SwapTime(10, 0), p.TwoQubitTime(10, 0); got != want {
+		t.Errorf("SwapTime = %g, want %g with factor 1", got, want)
+	}
+	p.SwapGateFactor = 3
+	if got, want := p.SwapTime(10, 0), 3*p.TwoQubitTime(10, 0); got != want {
+		t.Errorf("SwapTime = %g, want %g with factor 3", got, want)
+	}
+}

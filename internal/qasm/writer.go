@@ -1,0 +1,70 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"ssync/internal/circuit"
+)
+
+// Write renders a circuit as an OpenQASM 2.0 program with a single flat
+// quantum register q[n] (and c[n] if the circuit measures). Parse(Write(c))
+// reproduces c gate-for-gate for circuits in the supported gate set.
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	hasMeasure := false
+	for _, g := range c.Gates {
+		if g.Name == "measure" {
+			hasMeasure = true
+			break
+		}
+	}
+	if hasMeasure {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+	}
+	for _, g := range c.Gates {
+		writeGate(&b, g)
+	}
+	return b.String()
+}
+
+func writeGate(b *strings.Builder, g circuit.Gate) {
+	switch g.Name {
+	case "measure":
+		fmt.Fprintf(b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Qubits[0])
+		return
+	case "barrier":
+		b.WriteString("barrier ")
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+		return
+	}
+	b.WriteString(g.Name)
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			// %v loses no precision for round-tripping via ParseFloat.
+			fmt.Fprintf(b, "%v", p)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	for i, q := range g.Qubits {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "q[%d]", q)
+	}
+	b.WriteString(";\n")
+}

@@ -1,0 +1,262 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+	"ssync/internal/schedule"
+)
+
+func linearEmitter(t *testing.T, traps, cap, nq int) *Emitter {
+	t.Helper()
+	topo := device.Linear(traps, cap)
+	p := device.NewPlacement(topo, nq)
+	return &Emitter{Topo: topo, P: p, S: schedule.New(nq)}
+}
+
+func TestBringToEndCountsSwaps(t *testing.T) {
+	e := linearEmitter(t, 1, 5, 3)
+	e.P.Place(0, 0, 1)
+	e.P.Place(1, 0, 3)
+	e.P.Place(2, 0, 4)
+	// q0 to the right end: shift into slot 2, swap past q1 and q2.
+	e.BringToEnd(0, device.EndRight)
+	if e.P.Where(0) != (device.Loc{Trap: 0, Slot: 4}) {
+		t.Fatalf("q0 at %v, want right end", e.P.Where(0))
+	}
+	c := e.S.Counts()
+	if c.Swaps != 2 {
+		t.Errorf("swaps = %d, want 2", c.Swaps)
+	}
+	if c.Shifts != 1 {
+		t.Errorf("shifts = %d, want 1", c.Shifts)
+	}
+	if err := e.P.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearEndSlot(t *testing.T) {
+	e := linearEmitter(t, 1, 4, 3)
+	e.P.Place(0, 0, 1)
+	e.P.Place(1, 0, 2)
+	e.P.Place(2, 0, 3)
+	if err := e.ClearEndSlot(0, device.EndRight); err != nil {
+		t.Fatal(err)
+	}
+	if e.P.At(0, 3) != device.Empty {
+		t.Error("right end not cleared")
+	}
+	// Only free repositions were needed.
+	if c := e.S.Counts(); c.Swaps != 0 || c.Shifts == 0 {
+		t.Errorf("counts = %+v, want shifts only", c)
+	}
+	// Clearing an already-empty end is a no-op.
+	before := len(e.S.Ops)
+	if err := e.ClearEndSlot(0, device.EndRight); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.S.Ops) != before {
+		t.Error("no-op clear emitted ops")
+	}
+}
+
+func TestClearEndSlotFullTrap(t *testing.T) {
+	e := linearEmitter(t, 1, 2, 2)
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 0, 1)
+	if err := e.ClearEndSlot(0, device.EndRight); err == nil {
+		t.Error("clearing a full trap should fail")
+	}
+}
+
+func TestEmitShuttleSequence(t *testing.T) {
+	topo := device.Grid(1, 2, 3) // one junction per segment
+	p := device.NewPlacement(topo, 1)
+	e := &Emitter{Topo: topo, P: p, S: schedule.New(1)}
+	seg := topo.Segments[0]
+	p.Place(0, 0, p.EndSlot(0, seg.EndAt(0)))
+	q, err := e.EmitShuttle(seg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Errorf("shuttled q%d, want q0", q)
+	}
+	kinds := []schedule.Kind{}
+	for _, op := range e.S.Ops {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []schedule.Kind{schedule.Split, schedule.Move, schedule.JunctionCross, schedule.Merge}
+	if len(kinds) != len(want) {
+		t.Fatalf("op kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op kinds = %v, want %v", kinds, want)
+		}
+	}
+	// Split annotated with pre-split chain length, merge with post-merge.
+	if e.S.Ops[0].ChainLen != 1 || e.S.Ops[3].ChainLen != 1 {
+		t.Errorf("chain annotations: split=%d merge=%d", e.S.Ops[0].ChainLen, e.S.Ops[3].ChainLen)
+	}
+}
+
+func TestMakeSpacePropagatesHole(t *testing.T) {
+	e := linearEmitter(t, 3, 2, 4)
+	// Trap 0 and 1 full, trap 2 has space.
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 0, 1)
+	e.P.Place(2, 1, 0)
+	e.P.Place(3, 1, 1)
+	if err := e.MakeSpace(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !e.P.HasSpace(0) {
+		t.Fatal("trap 0 still full after MakeSpace")
+	}
+	// Two shuttles: one 1->2, one 0->1.
+	if c := e.S.Counts(); c.Shuttles != 2 {
+		t.Errorf("shuttles = %d, want 2", c.Shuttles)
+	}
+	if err := e.P.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeSpaceAvoid(t *testing.T) {
+	e := linearEmitter(t, 2, 2, 3)
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 0, 1)
+	e.P.Place(2, 1, 0)
+	if err := e.MakeSpace(0, map[int]bool{0: true}); err != nil {
+		t.Fatal(err)
+	}
+	if e.P.Where(0).Trap != 0 {
+		t.Error("avoided qubit was moved")
+	}
+}
+
+func TestMakeSpaceFullDevice(t *testing.T) {
+	e := linearEmitter(t, 2, 1, 2)
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 1, 0)
+	if err := e.MakeSpace(0, nil); err == nil {
+		t.Error("MakeSpace on a totally full device should fail")
+	}
+}
+
+func TestRouteToTrap(t *testing.T) {
+	e := linearEmitter(t, 4, 3, 2)
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 3, 2)
+	if err := e.RouteToTrap(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e.P.Where(0).Trap != 3 {
+		t.Fatalf("q0 in trap %d, want 3", e.P.Where(0).Trap)
+	}
+	if c := e.S.Counts(); c.Shuttles != 3 {
+		t.Errorf("shuttles = %d, want 3 (one per hop)", c.Shuttles)
+	}
+	if err := e.P.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteToTrapThroughCongestion(t *testing.T) {
+	// Middle trap full: routing must evict ions to pass through.
+	e := linearEmitter(t, 3, 2, 4)
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 1, 0)
+	e.P.Place(2, 1, 1)
+	e.P.Place(3, 2, 0)
+	if err := e.RouteToTrap(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.P.Where(0).Trap != 2 {
+		t.Fatalf("q0 in trap %d, want 2", e.P.Where(0).Trap)
+	}
+	if err := e.P.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteGate(t *testing.T) {
+	e := linearEmitter(t, 2, 3, 3)
+	e.P.Place(0, 0, 0)
+	e.P.Place(1, 0, 2)
+	e.P.Place(2, 1, 0)
+	if !e.Executable(circuit.New("cx", []int{0, 1})) {
+		t.Error("co-trapped gate reported non-executable")
+	}
+	if e.Executable(circuit.New("cx", []int{0, 2})) {
+		t.Error("cross-trap gate reported executable")
+	}
+	if err := e.ExecuteGate(circuit.New("cx", []int{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	op := e.S.Ops[len(e.S.Ops)-1]
+	if op.Kind != schedule.Gate2Q || op.ChainLen != 2 || op.IonDist != 0 {
+		t.Errorf("gate op = %+v", op)
+	}
+	if err := e.ExecuteGate(circuit.New("cx", []int{0, 2})); err == nil {
+		t.Error("cross-trap execution should fail")
+	}
+	if err := e.ExecuteGate(circuit.New("h", []int{2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ExecuteGate(circuit.New("measure", []int{2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ExecuteGate(circuit.New("barrier", []int{0, 1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RouteToTrap always succeeds and preserves invariants on random
+// connected devices with at least one global free slot.
+func TestRouteToTrapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topos := []*device.Topology{
+			device.Linear(4, 3), device.Grid(2, 3, 3), device.Star(4, 3),
+		}
+		topo := topos[r.Intn(len(topos))]
+		nq := 2 + r.Intn(topo.TotalCapacity()-2) // leave >= 1 space somewhere
+		p := device.NewPlacement(topo, nq)
+		q := 0
+		for q < nq {
+			tr := r.Intn(topo.NumTraps())
+			sl := r.Intn(topo.Traps[tr].Capacity)
+			if p.At(tr, sl) == device.Empty {
+				p.Place(q, tr, sl)
+				q++
+			}
+		}
+		e := &Emitter{Topo: topo, P: p, S: schedule.New(nq)}
+		for i := 0; i < 5; i++ {
+			mover := r.Intn(nq)
+			target := r.Intn(topo.NumTraps())
+			if err := e.RouteToTrap(mover, target); err != nil {
+				return false
+			}
+			if p.Where(mover).Trap != target {
+				return false
+			}
+			if p.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return e.S.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+
+	"ssync/internal/device"
+	"ssync/internal/noise"
+	"ssync/internal/schedule"
+)
+
+// Options configures one simulated execution.
+type Options struct {
+	Params noise.Params
+	// PerfectShuttle zeroes all transport time and heating — the "perfect
+	// shuttle" idealisation of the optimality analysis (Fig. 16).
+	PerfectShuttle bool
+	// PerfectSwap drops every inserted SWAP gate — ions behave as if they
+	// were always at trap edges ("perfect SWAP", Fig. 16).
+	PerfectSwap bool
+}
+
+// DefaultOptions uses the paper's simulation parameters.
+func DefaultOptions() Options { return Options{Params: noise.DefaultParams()} }
+
+// Metrics is the outcome of simulating one schedule.
+type Metrics struct {
+	// ExecutionTime is the makespan in µs (max per-qubit completion).
+	ExecutionTime float64
+	// SuccessRate is Π F over all ops per Eq. 4 (exp of LogSuccess).
+	SuccessRate float64
+	// LogSuccess is the natural log of the success rate; robust for the
+	// deep-circuit cases where the product underflows.
+	LogSuccess float64
+	// Counts echoes the schedule's op tallies.
+	Counts schedule.Counts
+	// MaxNbar is the highest per-trap phonon occupation reached from
+	// transport ops (background heating excluded).
+	MaxNbar float64
+}
+
+// Run simulates schedule s on topo: per-qubit clocks advance through gate
+// and transport durations; per-trap phonon occupations accumulate k1/k2
+// quanta from transport plus Γ·t background heating; each two-qubit gate
+// multiplies Eq. 4's fidelity into the success rate.
+func Run(s *schedule.Schedule, topo *device.Topology, opt Options) Metrics {
+	p := opt.Params
+	clock := make([]float64, s.NumQubits)
+	nbarOps := make([]float64, topo.NumTraps())
+	logSuccess := 0.0
+	dead := false
+
+	addF := func(f float64) {
+		if f <= 0 {
+			dead = true
+			return
+		}
+		logSuccess += math.Log(f)
+	}
+	// nbar at a trap when a gate starts: transport quanta + background.
+	nbarAt := func(trap int, t float64) float64 {
+		return nbarOps[trap] + p.Gamma*t*1e-6
+	}
+
+	maxNbar := 0.0
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case schedule.Gate1Q:
+			q := op.Qubits[0]
+			clock[q] += p.OneQubitTime
+			addF(p.OneQubitFidelity)
+
+		case schedule.Gate2Q, schedule.SwapGate:
+			if op.Kind == schedule.SwapGate && opt.PerfectSwap {
+				continue
+			}
+			q1, q2 := op.Qubits[0], op.Qubits[1]
+			start := math.Max(clock[q1], clock[q2])
+			if p.T2 > 0 {
+				// Idle dephasing: the earlier-arriving qubit waits.
+				idle := (start - clock[q1]) + (start - clock[q2])
+				addF(math.Exp(-idle / p.T2))
+			}
+			tau := p.TwoQubitTime(op.ChainLen, op.IonDist)
+			if op.Kind == schedule.SwapGate {
+				tau = p.SwapTime(op.ChainLen, op.IonDist)
+			}
+			end := start + tau
+			clock[q1], clock[q2] = end, end
+			addF(p.TwoQubitFidelity(tau, op.ChainLen, nbarAt(op.Trap, start)))
+
+		case schedule.Shift:
+			if opt.PerfectShuttle {
+				continue
+			}
+			clock[op.Qubits[0]] += p.ShiftTime
+
+		case schedule.Split:
+			if opt.PerfectShuttle {
+				continue
+			}
+			clock[op.Qubits[0]] += p.SplitTime
+			nbarOps[op.Trap] += p.K1 / 2
+
+		case schedule.Move:
+			if opt.PerfectShuttle {
+				continue
+			}
+			clock[op.Qubits[0]] += p.MoveTime * float64(op.Hops)
+
+		case schedule.JunctionCross:
+			if opt.PerfectShuttle {
+				continue
+			}
+			clock[op.Qubits[0]] += p.JunctionTime(op.Junctions)
+
+		case schedule.Merge:
+			if opt.PerfectShuttle {
+				continue
+			}
+			clock[op.Qubits[0]] += p.MergeTime
+			nbarOps[op.Trap] += p.K1/2 + p.K2
+
+		case schedule.Measure:
+			clock[op.Qubits[0]] += p.MeasureTime
+
+		case schedule.Barrier:
+			sync := 0.0
+			for _, q := range op.Qubits {
+				sync = math.Max(sync, clock[q])
+			}
+			for _, q := range op.Qubits {
+				clock[q] = sync
+			}
+		}
+		for _, nb := range nbarOps {
+			if nb > maxNbar {
+				maxNbar = nb
+			}
+		}
+	}
+
+	m := Metrics{Counts: s.Counts(), MaxNbar: maxNbar}
+	for _, t := range clock {
+		if t > m.ExecutionTime {
+			m.ExecutionTime = t
+		}
+	}
+	if dead {
+		m.LogSuccess = math.Inf(-1)
+		m.SuccessRate = 0
+	} else {
+		m.LogSuccess = logSuccess
+		m.SuccessRate = math.Exp(logSuccess)
+	}
+	return m
+}

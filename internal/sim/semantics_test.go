@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/circuit"
+	"ssync/internal/workloads"
+)
+
+// These tests pin down that the workload generators produce the algorithms
+// they claim, and that the peephole optimizer is semantics-preserving —
+// both checked against the dense state-vector simulator.
+
+// TestAdderActuallyAdds drives the Cuccaro adder with computational basis
+// inputs and checks a + b (mod 2^n) plus carry-out.
+func TestAdderActuallyAdds(t *testing.T) {
+	bits := 3
+	c := workloads.Adder(bits) // qubits: cin=0, b_i=1+2i, a_i=2+2i, cout=2b+1
+	n := c.NumQubits
+	for a := 0; a < 1<<bits; a++ {
+		for b := 0; b < 1<<bits; b++ {
+			s, err := NewState(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Prepare |a>|b> by X gates on the interleaved layout.
+			for i := 0; i < bits; i++ {
+				if a>>uint(i)&1 == 1 {
+					s.Apply(circuit.New("x", []int{2 + 2*i}))
+				}
+				if b>>uint(i)&1 == 1 {
+					s.Apply(circuit.New("x", []int{1 + 2*i}))
+				}
+			}
+			if err := s.ApplyCircuit(c); err != nil {
+				t.Fatal(err)
+			}
+			// Expected output: b register holds a+b mod 2^bits, cout holds
+			// the carry, a register restored.
+			sum := a + b
+			want := 0
+			for i := 0; i < bits; i++ {
+				if a>>uint(i)&1 == 1 {
+					want |= 1 << uint(2+2*i)
+				}
+				if sum>>uint(i)&1 == 1 {
+					want |= 1 << uint(1+2*i)
+				}
+			}
+			if sum>>uint(bits)&1 == 1 {
+				want |= 1 << uint(2*bits+1)
+			}
+			if p := s.Probability(want); math.Abs(p-1) > 1e-9 {
+				t.Fatalf("adder(%d+%d): P(expected output) = %g, want 1", a, b, p)
+			}
+		}
+	}
+}
+
+// TestBVRecoversSecret checks the Bernstein-Vazirani output concentrates
+// on the all-ones secret string.
+func TestBVRecoversSecret(t *testing.T) {
+	n := 6
+	c := workloads.BV(n)
+	s, err := NewState(c.NumQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	// Data register (qubits 0..n-1) must read the secret 111111; the
+	// ancilla is in |-> so sum both its branches.
+	secret := 1<<uint(n) - 1
+	p := s.Probability(secret) + s.Probability(secret|1<<uint(n))
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("BV: P(secret) = %g, want 1", p)
+	}
+}
+
+// TestQFTMatchesDFT verifies the generator against the analytic discrete
+// Fourier transform on basis states: QFT|x> = (1/√N) Σ_k e^{2πi xk/N}|k>
+// with the generator's big-endian wire convention.
+func TestQFTMatchesDFT(t *testing.T) {
+	n := 4
+	N := 1 << uint(n)
+	c := workloads.QFT(n)
+	for _, x := range []int{0, 1, 5, 12, 15} {
+		s, err := NewState(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if x>>uint(i)&1 == 1 {
+				s.Apply(circuit.New("x", []int{i}))
+			}
+		}
+		if err := s.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		// The generator treats qubit 0 as the most significant bit of x and
+		// omits the final wire-reversal swaps, so the output amplitude for
+		// index k (with qubit 0 the LSB of k) equals DFT at bit-reversed
+		// positions. Check via explicit formula: amplitude of |k> is
+		// (1/√N)·exp(2πi·rev(x)·... ) — instead verify the defining
+		// product form qubit by qubit: after QFT without swaps, qubit j is
+		// in state (|0> + e^{2πi x / 2^{j+1}} |1>)/√2 where x's bits are
+		// read with qubit 0 as MSB.
+		xval := 0
+		for i := 0; i < n; i++ {
+			if x>>uint(i)&1 == 1 {
+				xval |= 1 << uint(n-1-i) // qubit i is bit n-1-i of the value
+			}
+		}
+		// The cp -> rz+cx decomposition introduces a global phase, so
+		// compare via the state overlap |<want|got>|.
+		overlap := complex(0, 0)
+		for k := 0; k < N; k++ {
+			want := complex(1/math.Sqrt(float64(N)), 0)
+			for j := 0; j < n; j++ {
+				if k>>uint(j)&1 == 1 {
+					// Qubit j ends in (|0> + e^{2πi·x/2^{n-j}}|1>)/√2.
+					phase := 2 * math.Pi * float64(xval) / math.Pow(2, float64(n-j))
+					want *= cmplx.Exp(complex(0, phase))
+				}
+			}
+			overlap += cmplx.Conj(want) * s.Amplitude(k)
+		}
+		if math.Abs(cmplx.Abs(overlap)-1) > 1e-9 {
+			t.Fatalf("QFT|%d>: |<DFT|got>| = %g, want 1", x, cmplx.Abs(overlap))
+		}
+	}
+}
+
+// Property: Optimize preserves circuit semantics on random circuits.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nq := 2 + r.Intn(4)
+		c := circuit.NewCircuit(nq)
+		names := []string{"h", "x", "s", "sdg", "t", "tdg"}
+		for i := 0; i < 5+r.Intn(40); i++ {
+			switch r.Intn(5) {
+			case 0:
+				c.RZ(r.Float64()*4-2, r.Intn(nq))
+			case 1:
+				c.Append(circuit.New(names[r.Intn(len(names))], []int{r.Intn(nq)}))
+			case 2:
+				c.RX(r.Float64()*4-2, r.Intn(nq))
+			default:
+				a := r.Intn(nq)
+				b := r.Intn(nq - 1)
+				if b >= a {
+					b++
+				}
+				c.CX(a, b)
+			}
+		}
+		o := circuit.Optimize(c)
+		if len(o.Gates) > len(c.Gates) {
+			return false // must never grow
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		ref, _ := RandomProductState(nq, rng)
+		want := ref.Clone()
+		if err := want.ApplyCircuit(c); err != nil {
+			return false
+		}
+		got := ref.Clone()
+		if err := got.ApplyCircuit(o); err != nil {
+			return false
+		}
+		return Overlap(want, got) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the optimizer is idempotent.
+func TestOptimizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nq := 2 + r.Intn(3)
+		c := circuit.NewCircuit(nq)
+		for i := 0; i < 5+r.Intn(20); i++ {
+			if r.Intn(2) == 0 {
+				c.H(r.Intn(nq))
+			} else {
+				a := r.Intn(nq)
+				b := r.Intn(nq - 1)
+				if b >= a {
+					b++
+				}
+				c.CX(a, b)
+			}
+		}
+		once := circuit.Optimize(c)
+		twice := circuit.Optimize(once)
+		return len(once.Gates) == len(twice.Gates)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any greedy execution order of the commutation-aware DAG is
+// unitarily equivalent to program order. This validates the commutation
+// rules themselves (Z-runs, X-runs, cx control/target roles) against the
+// state-vector simulator.
+func TestCommutationDAGPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nq := 2 + r.Intn(4)
+		c := circuit.NewCircuit(nq)
+		for i := 0; i < 5+r.Intn(30); i++ {
+			switch r.Intn(6) {
+			case 0:
+				c.RZ(r.Float64()*2-1, r.Intn(nq))
+			case 1:
+				c.T(r.Intn(nq))
+			case 2:
+				c.X(r.Intn(nq))
+			case 3:
+				c.RX(r.Float64()*2-1, r.Intn(nq))
+			case 4:
+				c.H(r.Intn(nq))
+			default:
+				a := r.Intn(nq)
+				b := r.Intn(nq - 1)
+				if b >= a {
+					b++
+				}
+				c.CX(a, b)
+			}
+		}
+		d := circuit.NewCommutationDAG(c)
+		reordered := circuit.NewCircuit(nq)
+		for !d.Done() {
+			fr := d.Frontier()
+			id := fr[r.Intn(len(fr))]
+			if err := reordered.Append(d.Gate(id)); err != nil {
+				return false
+			}
+			d.Complete(id)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x77))
+		ref, _ := RandomProductState(nq, rng)
+		want := ref.Clone()
+		if err := want.ApplyCircuit(c); err != nil {
+			return false
+		}
+		got := ref.Clone()
+		if err := got.ApplyCircuit(reordered); err != nil {
+			return false
+		}
+		return Overlap(want, got) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestAdderShape(t *testing.T) {
+	c := Adder(32)
+	if c.NumQubits != 66 {
+		t.Errorf("Adder(32) qubits = %d, want 66 (Table 2)", c.NumQubits)
+	}
+	// 16*bits + 1 two-qubit gates after Toffoli decomposition.
+	if got, want := c.TwoQubitCount(), 16*32+1; got != want {
+		t.Errorf("Adder(32) 2Q gates = %d, want %d", got, want)
+	}
+	for _, g := range c.Gates {
+		if g.Arity() > 2 {
+			t.Fatalf("adder emitted %d-qubit gate %q", g.Arity(), g.Name)
+		}
+	}
+}
+
+func TestAdderSmall(t *testing.T) {
+	c := Adder(1)
+	if c.NumQubits != 4 {
+		t.Errorf("Adder(1) qubits = %d, want 4", c.NumQubits)
+	}
+	if got, want := c.TwoQubitCount(), 17; got != want {
+		t.Errorf("Adder(1) 2Q gates = %d, want %d", got, want)
+	}
+}
+
+func TestAdderOfSize(t *testing.T) {
+	c := AdderOfSize(66)
+	if c.NumQubits != 66 {
+		t.Errorf("AdderOfSize(66) qubits = %d, want 66", c.NumQubits)
+	}
+	c2 := AdderOfSize(67)
+	if c2.NumQubits > 67 {
+		t.Errorf("AdderOfSize(67) qubits = %d, exceeds request", c2.NumQubits)
+	}
+}
+
+func TestBVShape(t *testing.T) {
+	c := BV(64)
+	if c.NumQubits != 65 {
+		t.Errorf("BV(64) qubits = %d, want 65 (Table 2)", c.NumQubits)
+	}
+	if got := c.TwoQubitCount(); got != 64 {
+		t.Errorf("BV(64) 2Q gates = %d, want 64 (Table 2)", got)
+	}
+	// Every CX targets the ancilla (long-distance pattern).
+	for _, g := range c.Gates {
+		if g.Name == "cx" && g.Qubits[1] != 64 {
+			t.Errorf("BV cx targets %d, want ancilla 64", g.Qubits[1])
+		}
+	}
+}
+
+func TestQAOAShape(t *testing.T) {
+	c := QAOA(64, 10)
+	if got, want := c.TwoQubitCount(), 2*63*10; got != want {
+		t.Errorf("QAOA(64,10) 2Q gates = %d, want %d (Table 2: 1260)", got, want)
+	}
+	if want := 1260; c.TwoQubitCount() != want {
+		t.Errorf("QAOA_64 2Q gates = %d, want %d", c.TwoQubitCount(), want)
+	}
+	// Nearest-neighbour only.
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			d := g.Qubits[0] - g.Qubits[1]
+			if d != 1 && d != -1 {
+				t.Fatalf("QAOA gate on non-adjacent pair %v", g.Qubits)
+			}
+		}
+	}
+}
+
+func TestALTShape(t *testing.T) {
+	c := ALT(64, 20)
+	if got, want := c.TwoQubitCount(), 20*63; got != want {
+		t.Errorf("ALT(64,20) 2Q gates = %d, want %d (Table 2: 1260)", got, want)
+	}
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			d := g.Qubits[1] - g.Qubits[0]
+			if d != 1 {
+				t.Fatalf("ALT entangler on non-adjacent pair %v", g.Qubits)
+			}
+		}
+	}
+}
+
+func TestQFTShape(t *testing.T) {
+	for _, n := range []int{24, 64} {
+		c := QFT(n)
+		if got, want := c.TwoQubitCount(), n*(n-1); got != want {
+			t.Errorf("QFT(%d) 2Q gates = %d, want %d (Table 2)", n, got, want)
+		}
+	}
+	// Table 2 values explicitly.
+	if got := QFT(24).TwoQubitCount(); got != 552 {
+		t.Errorf("QFT_24 2Q = %d, want 552", got)
+	}
+	if got := QFT(64).TwoQubitCount(); got != 4032 {
+		t.Errorf("QFT_64 2Q = %d, want 4032", got)
+	}
+}
+
+func TestHeisenbergShape(t *testing.T) {
+	c := Heisenberg(48, 48)
+	if got, want := c.TwoQubitCount(), 13536; got != want {
+		t.Errorf("Heisenberg(48,48) 2Q gates = %d, want %d (Table 2)", got, want)
+	}
+}
+
+func TestAllValidate(t *testing.T) {
+	for _, c := range []interface {
+		Validate() error
+	}{
+		Adder(4), BV(8), QAOA(8, 2), ALT(8, 3), QFT(6), Heisenberg(6, 2),
+	} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("generated circuit invalid: %v", err)
+		}
+	}
+}
+
+func TestBuildByName(t *testing.T) {
+	for _, spec := range Table2() {
+		c, err := Build(spec.Name)
+		if err != nil {
+			t.Errorf("Build(%q): %v", spec.Name, err)
+			continue
+		}
+		if c.NumQubits != spec.Qubits {
+			t.Errorf("%s: qubits = %d, want %d", spec.Name, c.NumQubits, spec.Qubits)
+		}
+	}
+	if _, err := Build("nope"); err == nil {
+		t.Error("Build(nope) should fail")
+	}
+	if _, err := Build("zap_12"); err == nil {
+		t.Error("Build(zap_12) should fail")
+	}
+}
+
+func TestTable2GateCounts(t *testing.T) {
+	want := map[string]int{
+		"Adder_32":      513, // 16*32+1 with 6-CNOT Toffolis (paper: 545)
+		"QAOA_64":       1260,
+		"ALT_64":        1260,
+		"BV_64":         64,
+		"QFT_24":        552,
+		"QFT_64":        4032,
+		"Heisenberg_48": 13536,
+	}
+	for name, w := range want {
+		c, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.TwoQubitCount(); got != w {
+			t.Errorf("%s 2Q gates = %d, want %d", name, got, w)
+		}
+	}
+}
+
+func TestBySizeFamilies(t *testing.T) {
+	for _, fam := range []string{"adder", "bv", "qaoa", "alt", "qft", "heisenberg"} {
+		c, err := BySize(fam, 50)
+		if err != nil {
+			t.Errorf("BySize(%s, 50): %v", fam, err)
+			continue
+		}
+		if c.NumQubits > 50+1 {
+			t.Errorf("BySize(%s, 50) produced %d qubits", fam, c.NumQubits)
+		}
+		if c.TwoQubitCount() == 0 {
+			t.Errorf("BySize(%s, 50) has no 2Q gates", fam)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package ssync is a Go implementation of S-SYNC — shuttle and SWAP
+// co-optimisation for trapped-ion Quantum Charge-Coupled Device (QCCD)
+// architectures (Zhu, Wu, Wang & Wang, ISCA 2025) — together with the full
+// evaluation stack the paper builds on: an OpenQASM 2.0 front end,
+// benchmark circuit generators, QCCD device models, baseline compilers,
+// and timing/fidelity simulation.
+//
+// Quick start:
+//
+//	c := ssync.QFT(24)
+//	topo, _ := ssync.TopologyByName("G-2x3", 17)
+//	res, _ := ssync.Compile(ssync.DefaultCompileConfig(), c, topo)
+//	m := ssync.Simulate(res.Schedule, topo, ssync.DefaultSimOptions())
+//	fmt.Printf("shuttles=%d swaps=%d success=%.3e\n",
+//	    res.Counts.Shuttles, res.Counts.Swaps, m.SuccessRate)
+package ssync
+
+import (
+	"ssync/internal/baseline"
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/exp"
+	"ssync/internal/mapping"
+	"ssync/internal/noise"
+	"ssync/internal/qasm"
+	"ssync/internal/schedule"
+	"ssync/internal/sim"
+	"ssync/internal/workloads"
+)
+
+// ---- circuits ----
+
+// Circuit is an ordered gate list over a fixed set of logical qubits.
+type Circuit = circuit.Circuit
+
+// Gate is one quantum instruction.
+type Gate = circuit.Gate
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return circuit.NewCircuit(n) }
+
+// NewGate constructs a gate from its mnemonic, qubits and parameters.
+func NewGate(name string, qubits []int, params ...float64) Gate {
+	return circuit.New(name, qubits, params...)
+}
+
+// ParseQASM parses an OpenQASM 2.0 program.
+func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
+
+// WriteQASM renders a circuit as OpenQASM 2.0.
+func WriteQASM(c *Circuit) string { return qasm.Write(c) }
+
+// ---- workload generators (Table 2) ----
+
+// Adder builds the Cuccaro ripple-carry adder on bits-bit operands.
+func Adder(bits int) *Circuit { return workloads.Adder(bits) }
+
+// BV builds Bernstein-Vazirani over n data qubits plus one ancilla.
+func BV(n int) *Circuit { return workloads.BV(n) }
+
+// QAOA builds a p-layer QAOA ansatz on the n-vertex path graph.
+func QAOA(n, p int) *Circuit { return workloads.QAOA(n, p) }
+
+// ALT builds the alternating layered ansatz.
+func ALT(n, layers int) *Circuit { return workloads.ALT(n, layers) }
+
+// QFT builds the n-qubit quantum Fourier transform.
+func QFT(n int) *Circuit { return workloads.QFT(n) }
+
+// Heisenberg builds Trotterised Heisenberg-chain dynamics.
+func Heisenberg(n, steps int) *Circuit { return workloads.Heisenberg(n, steps) }
+
+// Benchmark builds a Table 2 benchmark by name, e.g. "QFT_24".
+func Benchmark(name string) (*Circuit, error) { return workloads.Build(name) }
+
+// ---- devices ----
+
+// Topology is an immutable QCCD device description.
+type Topology = device.Topology
+
+// Trap is one linear trapping zone.
+type Trap = device.Trap
+
+// Segment is a shuttle path between two trap ends.
+type Segment = device.Segment
+
+// Placement is the mutable ion/slot assignment on a device.
+type Placement = device.Placement
+
+// LinearDevice builds an L-series device (n traps in a row).
+func LinearDevice(n, capacity int) *Topology { return device.Linear(n, capacity) }
+
+// GridDevice builds a G-series device (rows × cols traps, junction-routed).
+func GridDevice(rows, cols, capacity int) *Topology { return device.Grid(rows, cols, capacity) }
+
+// StarDevice builds an S-series fully-connected device.
+func StarDevice(n, capacity int) *Topology { return device.Star(n, capacity) }
+
+// TopologyByName builds one of the paper's named topologies ("L-6",
+// "G-2x3", "S-4", ...).
+func TopologyByName(name string, capacity int) (*Topology, error) {
+	return device.ByName(name, capacity)
+}
+
+// NewTopology assembles a custom device from traps and segments.
+func NewTopology(name string, traps []Trap, segments []Segment) (*Topology, error) {
+	return device.New(name, traps, segments)
+}
+
+// PaperCapacity returns the per-trap capacity the paper pairs with each
+// named topology.
+func PaperCapacity(name string) int { return device.PaperCapacity(name) }
+
+// ---- compilation ----
+
+// CompileConfig tunes the S-SYNC scheduler.
+type CompileConfig = core.Config
+
+// CompileResult is the output of a compilation.
+type CompileResult = core.Result
+
+// Schedule is a hardware-compatible op stream.
+type Schedule = schedule.Schedule
+
+// Op is one scheduled operation.
+type Op = schedule.Op
+
+// Counts aggregates shuttle/SWAP/gate tallies.
+type Counts = schedule.Counts
+
+// MappingConfig tunes initial qubit mapping.
+type MappingConfig = mapping.Config
+
+// MappingStrategy selects the first-level mapping.
+type MappingStrategy = mapping.Strategy
+
+// Mapping strategies (Sec. 3.4).
+const (
+	EvenDividedMapping = mapping.EvenDivided
+	GatheringMapping   = mapping.Gathering
+	STAMapping         = mapping.STA
+)
+
+// DefaultCompileConfig returns the paper's benchmark configuration.
+func DefaultCompileConfig() CompileConfig { return core.DefaultConfig() }
+
+// Compile schedules a circuit onto a QCCD device with S-SYNC.
+func Compile(cfg CompileConfig, c *Circuit, topo *Topology) (*CompileResult, error) {
+	return core.Compile(cfg, c, topo)
+}
+
+// CompileMurali schedules with the Murali et al. (ISCA 2020) baseline.
+func CompileMurali(c *Circuit, topo *Topology) (*CompileResult, error) {
+	return baseline.CompileMurali(c, topo)
+}
+
+// CompileDai schedules with the Dai et al. (IEEE TQE 2024) baseline.
+func CompileDai(c *Circuit, topo *Topology) (*CompileResult, error) {
+	return baseline.CompileDai(c, topo)
+}
+
+// InitialMapping computes an initial placement without compiling.
+func InitialMapping(cfg MappingConfig, c *Circuit, topo *Topology) (*Placement, error) {
+	return mapping.Initial(cfg, c, topo)
+}
+
+// ---- simulation ----
+
+// SimOptions configures simulated execution.
+type SimOptions = sim.Options
+
+// SimMetrics reports execution time and Eq. 4 success rate.
+type SimMetrics = sim.Metrics
+
+// NoiseParams bundles timing and heating constants (Sec. 4.1, Table 1).
+type NoiseParams = noise.Params
+
+// GateModel selects FM/PM/AM1/AM2 two-qubit gate implementations.
+type GateModel = noise.GateModel
+
+// Gate implementations (Fig. 13).
+const (
+	FMGate  = noise.FM
+	PMGate  = noise.PM
+	AM1Gate = noise.AM1
+	AM2Gate = noise.AM2
+)
+
+// DefaultSimOptions uses the paper's simulation parameters.
+func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
+
+// DefaultNoiseParams returns the paper's evaluation constants.
+func DefaultNoiseParams() NoiseParams { return noise.DefaultParams() }
+
+// Simulate executes a compiled schedule on the device model.
+func Simulate(s *Schedule, topo *Topology, opt SimOptions) SimMetrics {
+	return sim.Run(s, topo, opt)
+}
+
+// VerifySchedule proves a compiled schedule is semantically equivalent to
+// its source circuit under dense state-vector simulation (≤ 22 qubits).
+func VerifySchedule(src *Circuit, s *Schedule, seed int64) error {
+	return sim.VerifySchedule(src, s, seed)
+}
+
+// ---- experiments ----
+
+// ExperimentOptions scales paper-experiment runs.
+type ExperimentOptions = exp.Options
+
+// RunExperiment regenerates a paper table or figure by name ("table1",
+// "table2", "fig8" … "fig16", "ablation", or "all"), returning its textual
+// report.
+func RunExperiment(name string, opt ExperimentOptions) (string, error) {
+	return exp.Run(name, opt)
+}
+
+// RunExperimentCSV regenerates an experiment's data rows as CSV.
+func RunExperimentCSV(name string, opt ExperimentOptions) (string, error) {
+	return exp.RunCSV(name, opt)
+}
+
+// ---- analysis & extensions ----
+
+// Timeline is the timed per-qubit expansion of a schedule.
+type Timeline = schedule.Timeline
+
+// TimelineStats summarises utilisation and parallelism.
+type TimelineStats = schedule.TimelineStats
+
+// BuildTimeline assigns start/end times to every op of a schedule.
+func BuildTimeline(s *Schedule, p NoiseParams) *Timeline {
+	return schedule.BuildTimeline(s, p)
+}
+
+// Optimize applies semantics-preserving peephole simplifications
+// (inverse-pair cancellation, rotation merging, identity removal).
+func Optimize(c *Circuit) *Circuit { return circuit.Optimize(c) }
+
+// HardwareCircuit lowers a compiled schedule to a circuit over physical
+// ions with explicit SWAP gates; ionOf maps each logical qubit to the ion
+// holding its final state.
+func HardwareCircuit(s *Schedule) (hw *Circuit, ionOf []int, err error) {
+	return core.HardwareCircuit(s)
+}
+
+// TrapProgram partitions a schedule's gates by executing trap — the unit a
+// per-zone laser controller consumes.
+func TrapProgram(s *Schedule, numTraps int) ([][]Op, error) {
+	return core.TrapProgram(s, numTraps)
+}
+
+// RacetrackDevice builds an R-series device: n traps on a closed ring.
+func RacetrackDevice(n, capacity int) *Topology { return device.Racetrack(n, capacity) }
+
+// AnnealConfig tunes the simulated-annealing first-level mapper.
+type AnnealConfig = mapping.AnnealConfig
+
+// DefaultAnnealConfig returns annealer settings that converge quickly on
+// every Table 2 workload.
+func DefaultAnnealConfig() AnnealConfig { return mapping.DefaultAnnealConfig() }
+
+// AnnealedMapping computes an initial placement with the simulated-
+// annealing trap assignment (an extension beyond the paper's three
+// first-level strategies) plus the standard second-level arrangement.
+func AnnealedMapping(cfg MappingConfig, ann AnnealConfig, c *Circuit, topo *Topology) (*Placement, error) {
+	return mapping.InitialAnnealed(cfg, ann, c, topo)
+}
+
+// CompileWithPlacement runs the S-SYNC scheduler from a caller-supplied
+// initial placement (e.g. one produced by AnnealedMapping). The circuit
+// must already be in the native basis; the placement is consumed.
+func CompileWithPlacement(cfg CompileConfig, c *Circuit, topo *Topology, p *Placement) (*CompileResult, error) {
+	return core.CompileWithPlacement(cfg, c, topo, p)
+}
