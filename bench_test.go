@@ -1,8 +1,11 @@
 package ssync
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"ssync/internal/engine"
 	"ssync/internal/exp"
 )
 
@@ -108,3 +111,57 @@ func mustCompile(b *testing.B, c *Circuit) *CompileResult {
 }
 
 func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkBatchCompile measures the engine's worker-pool batch compiler
+// on the quick workload×topology×compiler grid against the serial loop.
+// Caching is disabled so both sides measure real compilation; compare
+// serial vs workers-N ns/op for the pool speedup, and cached for the
+// steady-state service path.
+func BenchmarkBatchCompile(b *testing.B) {
+	var jobs []engine.Job
+	for _, bench := range []string{"QFT_12", "Adder_4", "BV_12"} {
+		c, err := Benchmark(bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, topo := range []*Topology{StarDevice(4, 8), GridDevice(2, 2, 8)} {
+			for _, comp := range []CompilerID{MuraliCompiler, DaiCompiler, SSyncCompiler} {
+				jobs = append(jobs, engine.Job{Circuit: c, Topo: topo, Compiler: comp})
+			}
+		}
+	}
+	ctx := context.Background()
+
+	b.Run("serial", func(b *testing.B) {
+		eng := engine.New(engine.Options{CacheSize: -1})
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if r := eng.Compile(ctx, j); r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			pool := engine.Pool{Engine: engine.New(engine.Options{CacheSize: -1}), Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if err := engine.FirstError(pool.Run(ctx, jobs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("cached", func(b *testing.B) {
+		pool := engine.Pool{Engine: engine.New(engine.Options{}), Workers: 4}
+		if err := engine.FirstError(pool.Run(ctx, jobs)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := engine.FirstError(pool.Run(ctx, jobs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Command ssyncd serves S-SYNC compilation over HTTP JSON: single
+// compiles, worker-pool batches and portfolio races, backed by a shared
+// content-addressed result cache so repeated requests skip compilation.
+//
+// Usage:
+//
+//	ssyncd -addr :8484 -workers 8 -cache 1024 -timeout 60s
+//
+// Endpoints:
+//
+//	POST /v1/compile  {"benchmark":"QFT_24","topology":"G-2x3"}
+//	POST /v1/batch    {"jobs":[{...},{...}]}
+//	GET  /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ssync/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8484", "listen address")
+		workers = flag.Int("workers", 0, "batch worker count (default: GOMAXPROCS)")
+		cache   = flag.Int("cache", engine.DefaultCacheSize, "result-cache entries (negative disables)")
+		timeout = flag.Duration("timeout", 60*time.Second, "default per-job compile timeout (0 = unbounded)")
+	)
+	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	eng := engine.New(engine.Options{CacheSize: *cache})
+	srv := newServer(eng, *workers, *timeout)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.routes(),
+		// Bound how long a client may dribble headers/body and how long an
+		// idle keep-alive connection holds a file descriptor; compile time
+		// itself is governed by the per-job timeout, not these.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Printf("ssyncd listening on %s (workers=%d cache=%d timeout=%s)\n",
+		*addr, *workers, *cache, *timeout)
+	log.Fatal(hs.ListenAndServe())
+}

@@ -1,0 +1,459 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/engine"
+	"ssync/internal/mapping"
+	"ssync/internal/qasm"
+	"ssync/internal/sim"
+	"ssync/internal/workloads"
+)
+
+// maxRequestBytes bounds a request body (QASM programs are text; 8 MiB is
+// far beyond any Table 2 benchmark).
+const maxRequestBytes = 8 << 20
+
+// compileRequest describes one compilation over the wire. Exactly one of
+// Benchmark and QASM selects the circuit.
+type compileRequest struct {
+	// Label is echoed back unchanged; useful for correlating batch entries.
+	Label string `json:"label,omitempty"`
+	// Benchmark names a Table 2 workload, e.g. "QFT_24".
+	Benchmark string `json:"benchmark,omitempty"`
+	// QASM is an inline OpenQASM 2.0 program.
+	QASM string `json:"qasm,omitempty"`
+	// Topology names a device ("L-6", "G-2x3", "S-4", ...).
+	Topology string `json:"topology"`
+	// Capacity is the per-trap slot count; 0 selects the paper's choice.
+	Capacity int `json:"capacity,omitempty"`
+	// Compiler is "ssync" (default), "murali" or "dai".
+	Compiler string `json:"compiler,omitempty"`
+	// Mapping overrides the S-SYNC initial-mapping strategy
+	// ("gathering", "even-divided", "sta").
+	Mapping string `json:"mapping,omitempty"`
+	// Portfolio races the default S-SYNC portfolio and returns the best
+	// entrant. Single-compile only; rejected inside /v1/batch.
+	Portfolio bool `json:"portfolio,omitempty"`
+	// TimeoutMs bounds this job's compile time; 0 uses the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// compileResponse is one compilation outcome.
+type compileResponse struct {
+	Label         string  `json:"label,omitempty"`
+	Compiler      string  `json:"compiler,omitempty"`
+	Winner        string  `json:"winner,omitempty"` // portfolio entrant that won
+	Topology      string  `json:"topology,omitempty"`
+	Qubits        int     `json:"qubits,omitempty"`
+	TwoQubitGates int     `json:"two_qubit_gates,omitempty"`
+	Shuttles      int     `json:"shuttles"`
+	Swaps         int     `json:"swaps"`
+	SuccessRate   float64 `json:"success_rate"`
+	ExecTimeUs    float64 `json:"exec_time_us"`
+	CompileMs     float64 `json:"compile_ms"`
+	CacheHit      bool    `json:"cache_hit"`
+	Key           string  `json:"key,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+type batchRequest struct {
+	Jobs []compileRequest `json:"jobs"`
+}
+
+type batchResponse struct {
+	Results []compileResponse `json:"results"`
+	// Errors counts entries that failed; the per-entry Error fields say why.
+	Errors int `json:"errors"`
+}
+
+type statsResponse struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       uint64  `json:"requests"`
+	JobsCompiled   uint64  `json:"jobs_compiled"`
+	JobErrors      uint64  `json:"job_errors"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Workers        int     `json:"workers"`
+}
+
+// server is the ssyncd HTTP API over one shared engine.
+type server struct {
+	eng     *engine.Engine
+	workers int
+	timeout time.Duration
+	start   time.Time
+	// tokens bounds compile concurrency server-wide: every in-flight job
+	// from every request holds one token, so -workers caps machine load
+	// no matter how many requests arrive at once.
+	tokens chan struct{}
+	// metrics caches the deterministic scoring simulation per job key, so
+	// cache-hit requests skip simulation as well as compilation.
+	metrics  *engine.Cache[sim.Metrics]
+	requests atomic.Uint64
+}
+
+func newServer(eng *engine.Engine, workers int, timeout time.Duration) *server {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &server{
+		eng: eng, workers: workers, timeout: timeout, start: time.Now(),
+		tokens:  make(chan struct{}, workers),
+		metrics: engine.NewCache[sim.Metrics](engine.DefaultCacheSize),
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req compileRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if req.Portfolio {
+		resp, status, err := s.racePortfolio(r, req)
+		if err != nil {
+			httpError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	job, err := s.buildJob(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A single compile goes through a one-job pool so it holds a
+	// server-wide token like every batch job does.
+	pool := engine.Pool{Engine: s.eng, Workers: 1, Timeout: s.timeout, Tokens: s.tokens}
+	res := pool.Run(r.Context(), []engine.Job{job})[0]
+	if res.Err != nil {
+		httpError(w, compileErrorStatus(res.Err), res.Err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.render(job, res))
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch needs a non-empty jobs array")
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d entries exceeds the service limit of %d", len(req.Jobs), maxBatchJobs))
+		return
+	}
+	sizeBudget := 0
+	for _, cr := range req.Jobs {
+		if n, ok := benchmarkSize(cr.Benchmark); ok && n > 0 {
+			// Clamp before summing: oversized entries are rejected
+			// individually anyway, and the clamp keeps a handful of huge
+			// declared sizes from overflowing the budget accumulator.
+			if n > maxBenchmarkSize {
+				n = maxBenchmarkSize
+			}
+			sizeBudget += n
+		}
+	}
+	if sizeBudget > maxBatchSizeBudget {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("aggregate benchmark size %d exceeds the service limit of %d", sizeBudget, maxBatchSizeBudget))
+		return
+	}
+
+	// Malformed entries fail individually without sinking the batch; the
+	// well-formed remainder is fanned across the pool.
+	resp := batchResponse{Results: make([]compileResponse, len(req.Jobs))}
+	var jobs []engine.Job
+	var jobIdx []int
+	for i, cr := range req.Jobs {
+		if cr.Portfolio {
+			resp.Results[i] = compileResponse{Label: cr.Label, Error: "portfolio is single-compile only; POST /v1/compile"}
+			continue
+		}
+		job, err := s.buildJob(cr)
+		if err != nil {
+			resp.Results[i] = compileResponse{Label: cr.Label, Error: err.Error()}
+			continue
+		}
+		jobs = append(jobs, job)
+		jobIdx = append(jobIdx, i)
+	}
+	pool := engine.Pool{Engine: s.eng, Workers: s.workers, Timeout: s.timeout, Tokens: s.tokens}
+	for k, res := range pool.Run(r.Context(), jobs) {
+		i := jobIdx[k]
+		if res.Err != nil {
+			resp.Results[i] = compileResponse{Label: res.Label, Error: res.Err.Error()}
+			continue
+		}
+		resp.Results[i] = s.render(jobs[k], res)
+	}
+	for _, cr := range resp.Results {
+		if cr.Error != "" {
+			resp.Errors++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Requests:       s.requests.Load(),
+		JobsCompiled:   st.Compiled,
+		JobErrors:      st.Errors,
+		CacheHits:      st.Cache.Hits,
+		CacheMisses:    st.Cache.Misses,
+		CacheEvictions: st.Cache.Evictions,
+		CacheEntries:   st.Cache.Entries,
+		CacheCapacity:  st.Cache.Capacity,
+		CacheHitRate:   st.Cache.HitRate(),
+		Workers:        s.workers,
+	})
+}
+
+// buildJob turns a wire request into an engine job.
+func (s *server) buildJob(req compileRequest) (engine.Job, error) {
+	var job engine.Job
+	c, err := buildCircuit(req)
+	if err != nil {
+		return job, err
+	}
+	topo, err := buildTopology(req)
+	if err != nil {
+		return job, err
+	}
+	comp := engine.Compiler(req.Compiler)
+	switch comp {
+	case "":
+		comp = engine.SSync
+	case engine.SSync, engine.Murali, engine.Dai:
+	default:
+		return job, fmt.Errorf("unknown compiler %q (want ssync, murali or dai)", req.Compiler)
+	}
+	var cfg *core.Config
+	if req.Mapping != "" {
+		if comp != engine.SSync {
+			return job, fmt.Errorf("mapping override applies to the ssync compiler only")
+		}
+		strat, err := mapping.ParseStrategy(req.Mapping)
+		if err != nil {
+			return job, err
+		}
+		c := core.DefaultConfig()
+		c.Mapping.Strategy = strat
+		cfg = &c
+	}
+	return engine.Job{
+		Label: req.Label, Circuit: c, Topo: topo,
+		Compiler: comp, Config: cfg, Timeout: s.jobTimeout(req),
+	}, nil
+}
+
+// jobTimeout resolves the per-job compile bound: the request override
+// when given, the server default otherwise. Clients may only lower the
+// bound — a raised override would let a few requests pin the worker
+// tokens past the operator's -timeout.
+func (s *server) jobTimeout(req compileRequest) time.Duration {
+	if req.TimeoutMs > 0 {
+		t := time.Duration(req.TimeoutMs) * time.Millisecond
+		if s.timeout > 0 && t > s.timeout {
+			return s.timeout
+		}
+		return t
+	}
+	return s.timeout
+}
+
+// Service limits on generator-built circuits. Generation cost is paid
+// before the per-job timeout starts, so these caps keep one hostile
+// request from building hundreds of millions of gates; the largest
+// Table 2 benchmark is 66 qubits. (Inline QASM is already bounded by
+// maxRequestBytes: gate count is limited by the program text.)
+const (
+	// maxBenchmarkSize bounds one entry's problem size. Generation runs
+	// on the request goroutine, so the cap must keep a single build to
+	// milliseconds; the largest Table 2 benchmark is 66.
+	maxBenchmarkSize = 256
+	// maxBatchJobs bounds entries per /v1/batch request.
+	maxBatchJobs = 256
+	// maxBatchSizeBudget bounds the summed benchmark sizes of a batch, so
+	// many individually-legal entries cannot multiply into unbounded
+	// aggregate generation cost.
+	maxBatchSizeBudget = 2048
+)
+
+// benchmarkSize is workloads.ParseSize — the exact parser Build uses, so
+// the service caps cannot be bypassed by inputs the two layers read
+// differently.
+var benchmarkSize = workloads.ParseSize
+
+func buildCircuit(req compileRequest) (*circuit.Circuit, error) {
+	switch {
+	case req.Benchmark != "" && req.QASM != "":
+		return nil, fmt.Errorf("pass either benchmark or qasm, not both")
+	case req.Benchmark != "":
+		if n, ok := benchmarkSize(req.Benchmark); ok && n > maxBenchmarkSize {
+			return nil, fmt.Errorf("benchmark size %d exceeds the service limit of %d", n, maxBenchmarkSize)
+		}
+		return workloads.Build(req.Benchmark)
+	case req.QASM != "":
+		return qasm.Parse(req.QASM)
+	}
+	return nil, fmt.Errorf("one of benchmark or qasm is required")
+}
+
+func buildTopology(req compileRequest) (*device.Topology, error) {
+	if req.Topology == "" {
+		return nil, fmt.Errorf("topology is required")
+	}
+	capacity := req.Capacity
+	if capacity == 0 {
+		capacity = device.PaperCapacity(req.Topology)
+	}
+	return device.ByName(req.Topology, capacity)
+}
+
+// racePortfolio runs the default portfolio for the request's circuit.
+// The int is the HTTP status to use when err is non-nil: 400 for request
+// problems, 422 for well-formed requests whose variants all fail.
+func (s *server) racePortfolio(r *http.Request, req compileRequest) (compileResponse, int, error) {
+	if req.Compiler != "" && req.Compiler != string(engine.SSync) {
+		return compileResponse{}, http.StatusBadRequest, fmt.Errorf("portfolio races ssync variants; drop the compiler field")
+	}
+	if req.Mapping != "" {
+		return compileResponse{}, http.StatusBadRequest, fmt.Errorf("portfolio already races every mapping strategy; drop the mapping field")
+	}
+	c, err := buildCircuit(req)
+	if err != nil {
+		return compileResponse{}, http.StatusBadRequest, err
+	}
+	topo, err := buildTopology(req)
+	if err != nil {
+		return compileResponse{}, http.StatusBadRequest, err
+	}
+	out, err := s.eng.Race(r.Context(), c, topo, nil,
+		engine.RaceOptions{Workers: s.workers, Timeout: s.jobTimeout(req), Tokens: s.tokens, Metrics: s.metrics})
+	if err != nil {
+		return compileResponse{}, compileErrorStatus(err), err
+	}
+	resp := renderWithMetrics(engine.Job{Label: req.Label, Circuit: c, Topo: topo, Compiler: engine.SSync},
+		out.Winner, out.Metrics[out.WinnerIndex])
+	resp.Label = req.Label
+	resp.Winner = out.Winner.Label
+	return resp, http.StatusOK, nil
+}
+
+// render scores a compiled job and shapes the wire response. The scoring
+// simulation is deterministic per job key, so it is cached alongside the
+// compile results — a cache-hit request does no simulation either.
+func (s *server) render(job engine.Job, res engine.JobResult) compileResponse {
+	// A zero key means the engine ran cacheless (-cache < 0) and computed
+	// no content address; don't let unrelated jobs share one metrics slot.
+	keyed := res.Key != engine.Key{}
+	m, ok := sim.Metrics{}, false
+	if keyed {
+		m, ok = s.metrics.Get(res.Key)
+	}
+	if !ok {
+		m = sim.Run(res.Res.Schedule, job.Topo, sim.DefaultOptions())
+		if keyed {
+			s.metrics.Put(res.Key, m)
+		}
+	}
+	return renderWithMetrics(job, res, m)
+}
+
+// renderWithMetrics shapes the wire response from an already-scored job.
+func renderWithMetrics(job engine.Job, res engine.JobResult, m sim.Metrics) compileResponse {
+	return compileResponse{
+		Label:         res.Label,
+		Compiler:      string(job.Compiler),
+		Topology:      job.Topo.Name,
+		Qubits:        job.Circuit.NumQubits,
+		TwoQubitGates: job.Circuit.TwoQubitCount(),
+		Shuttles:      res.Res.Counts.Shuttles,
+		Swaps:         res.Res.Counts.Swaps,
+		SuccessRate:   m.SuccessRate,
+		ExecTimeUs:    m.ExecutionTime,
+		CompileMs:     float64(res.Res.CompileTime) / float64(time.Millisecond),
+		CacheHit:      res.CacheHit,
+		Key:           res.Key.String(),
+	}
+}
+
+// compileErrorStatus maps a compile failure to its HTTP status: 504 for
+// timeouts (retryable with a higher timeout_ms), 422 for requests that
+// are well-formed but cannot compile.
+func compileErrorStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "bad request body: "+err.Error())
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

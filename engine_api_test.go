@@ -1,0 +1,91 @@
+package ssync
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests of the public concurrent-compilation surface: NewEngine,
+// CompileBatch and CompilePortfolio.
+
+func batchJobs(t testing.TB) []CompileJob {
+	t.Helper()
+	var jobs []CompileJob
+	for _, bench := range []string{"QFT_12", "BV_12"} {
+		c, err := Benchmark(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, comp := range []CompilerID{MuraliCompiler, DaiCompiler, SSyncCompiler} {
+			jobs = append(jobs, CompileJob{
+				Label: bench + "/" + string(comp), Circuit: c,
+				Topo: GridDevice(2, 2, 8), Compiler: comp,
+			})
+		}
+	}
+	return jobs
+}
+
+func TestPublicCompileBatch(t *testing.T) {
+	jobs := batchJobs(t)
+	results := CompileBatch(context.Background(), jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", jobs[i].Label, r.Err)
+		}
+		if r.Label != jobs[i].Label {
+			t.Errorf("result %d carries label %q, want %q", i, r.Label, jobs[i].Label)
+		}
+		if r.Res.Schedule == nil {
+			t.Errorf("%s: nil schedule", jobs[i].Label)
+		}
+	}
+	// The shared default engine serves a repeated batch from its cache.
+	for i, r := range CompileBatch(context.Background(), jobs) {
+		if r.Err != nil || !r.CacheHit {
+			t.Errorf("%s: repeat err=%v hit=%v, want cache hit", jobs[i].Label, r.Err, r.CacheHit)
+		}
+	}
+}
+
+func TestPublicCompilePortfolio(t *testing.T) {
+	c := QFT(12)
+	topo := GridDevice(2, 2, 8)
+	out, err := CompilePortfolio(context.Background(), c, topo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner.Err != nil || out.Winner.Res == nil {
+		t.Fatalf("portfolio winner unusable: %+v", out.Winner)
+	}
+	if len(out.Results) != len(DefaultPortfolio()) {
+		t.Errorf("%d results for %d default variants", len(out.Results), len(DefaultPortfolio()))
+	}
+	win := out.Metrics[out.WinnerIndex]
+	for i, m := range out.Metrics {
+		if out.Results[i].Err == nil && m.SuccessRate > win.SuccessRate {
+			t.Errorf("variant %d beats the declared winner", i)
+		}
+	}
+}
+
+func TestPublicNewEngineStats(t *testing.T) {
+	eng := NewEngine(EngineOptions{CacheSize: 4})
+	pool := CompilePool{Engine: eng, Workers: 2}
+	jobs := batchJobs(t)
+	for _, r := range pool.Run(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	st := eng.Stats()
+	if st.Compiled != uint64(len(jobs)) {
+		t.Errorf("compiled = %d, want %d", st.Compiled, len(jobs))
+	}
+	if st.Cache.Entries > 4 {
+		t.Errorf("cache holds %d entries, bound is 4", st.Cache.Entries)
+	}
+}

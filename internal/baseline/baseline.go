@@ -18,6 +18,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,12 @@ import (
 
 // CompileMurali schedules c on topo with the Murali et al. policy.
 func CompileMurali(c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
+	return CompileMuraliCtx(context.Background(), c, topo)
+}
+
+// CompileMuraliCtx is CompileMurali with cooperative cancellation: the
+// router checks ctx between iterations and aborts with ctx's error.
+func CompileMuraliCtx(ctx context.Context, c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
 	start := time.Now()
 	basis := c.DecomposeToBasis()
 	place, err := placeSequential(basis, topo, 2)
@@ -40,7 +47,11 @@ func CompileMurali(c *circuit.Circuit, topo *device.Topology) (*core.Result, err
 	res := &core.Result{Initial: place.Clone()}
 	em := &router.Emitter{Topo: topo, P: place, S: schedule.New(basis.NumQubits)}
 	dag := circuit.NewDAG(basis)
+	done := ctx.Done()
 	for !dag.Done() {
+		if err := core.PollInterrupt(ctx, done); err != nil {
+			return nil, err
+		}
 		if executeReady(dag, em) {
 			continue
 		}
@@ -73,6 +84,12 @@ func chooseMuraliMove(p *device.Placement, g circuit.Gate) (mover, target int) {
 
 // CompileDai schedules c on topo with the Dai et al. strategy.
 func CompileDai(c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
+	return CompileDaiCtx(context.Background(), c, topo)
+}
+
+// CompileDaiCtx is CompileDai with cooperative cancellation (see
+// CompileMuraliCtx).
+func CompileDaiCtx(ctx context.Context, c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
 	start := time.Now()
 	basis := c.DecomposeToBasis()
 	place, err := placeSequential(basis, topo, 2)
@@ -82,7 +99,11 @@ func CompileDai(c *circuit.Circuit, topo *device.Topology) (*core.Result, error)
 	res := &core.Result{Initial: place.Clone()}
 	em := &router.Emitter{Topo: topo, P: place, S: schedule.New(basis.NumQubits)}
 	dag := circuit.NewDAG(basis)
+	done := ctx.Done()
 	for !dag.Done() {
+		if err := core.PollInterrupt(ctx, done); err != nil {
+			return nil, err
+		}
 		if executeReady(dag, em) {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,12 +47,19 @@ type compilation struct {
 // Compile schedules circuit c onto topo with the configured initial
 // mapping, returning the hardware-compatible op stream and statistics.
 func Compile(cfg Config, c *circuit.Circuit, topo *device.Topology) (*Result, error) {
+	return CompileCtx(context.Background(), cfg, c, topo)
+}
+
+// CompileCtx is Compile with cooperative cancellation: the scheduler
+// checks ctx between iterations and aborts with ctx's error once it is
+// cancelled or past its deadline.
+func CompileCtx(ctx context.Context, cfg Config, c *circuit.Circuit, topo *device.Topology) (*Result, error) {
 	basis := c.DecomposeToBasis()
 	place, err := mapping.Initial(cfg.Mapping, basis, topo)
 	if err != nil {
 		return nil, err
 	}
-	return CompileWithPlacement(cfg, basis, topo, place)
+	return CompileWithPlacementCtx(ctx, cfg, basis, topo, place)
 }
 
 // CompileWithPlacement runs Algorithm 1 from a caller-supplied initial
@@ -59,6 +67,12 @@ func Compile(cfg Config, c *circuit.Circuit, topo *device.Topology) (*Result, er
 // use Circuit.DecomposeToBasis first if unsure. The placement is consumed
 // (mutated into the final placement).
 func CompileWithPlacement(cfg Config, c *circuit.Circuit, topo *device.Topology, place *device.Placement) (*Result, error) {
+	return CompileWithPlacementCtx(context.Background(), cfg, c, topo, place)
+}
+
+// CompileWithPlacementCtx is CompileWithPlacement with cooperative
+// cancellation (see CompileCtx).
+func CompileWithPlacementCtx(ctx context.Context, cfg Config, c *circuit.Circuit, topo *device.Topology, place *device.Placement) (*Result, error) {
 	start := time.Now()
 	for _, g := range c.Gates {
 		if g.Arity() > 2 {
@@ -91,7 +105,11 @@ func CompileWithPlacement(cfg Config, c *circuit.Circuit, topo *device.Topology,
 	res := &Result{Initial: place.Clone()}
 	maxIter := 400*len(c.Gates) + 20000
 	stall := 0
+	done := ctx.Done()
 	for !comp.dag.Done() {
+		if err := PollInterrupt(ctx, done); err != nil {
+			return nil, err
+		}
 		if comp.iter > maxIter {
 			return nil, fmt.Errorf("core: scheduler exceeded %d iterations (likely livelock)", maxIter)
 		}
@@ -134,6 +152,21 @@ func CompileWithPlacement(cfg Config, c *circuit.Circuit, topo *device.Topology,
 	res.CompileTime = time.Since(start)
 	res.Iterations = comp.iter
 	return res, nil
+}
+
+// PollInterrupt reports ctx's error once it is cancelled; done is the
+// pre-fetched ctx.Done() channel (nil means uncancellable, checked for
+// free). Shared by every cooperatively-cancellable compile loop.
+func PollInterrupt(ctx context.Context, done <-chan struct{}) error {
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return fmt.Errorf("compilation interrupted: %w", ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // executeReady drains every currently executable frontier gate, returning

@@ -301,32 +301,59 @@ func Racetrack(n, capacity int) *Topology {
 	return MustNew(fmt.Sprintf("R-%d", n), traps, segs)
 }
 
+// maxNamedTraps and maxNamedCapacity bound ByName construction; New has
+// no such limits.
+const (
+	// 64 traps keeps the O(traps^3) path precompute to milliseconds; the
+	// paper's largest device has 9.
+	maxNamedTraps    = 64
+	maxNamedCapacity = 1 << 14
+)
+
 // ByName constructs one of the paper's named topologies ("L-6", "G-2x3",
 // "S-4", "R-6", ...) with the given per-trap capacity.
 func ByName(name string, capacity int) (*Topology, error) {
+	// Validate here so caller-supplied (e.g. network) input gets an error
+	// instead of reaching the panicking Must-constructors below, and so a
+	// single hostile name cannot trigger the O(traps³) path precompute or
+	// gigabyte placement allocations. The paper's devices top out at 9
+	// traps and capacity 22; the bounds are far above any real use (use
+	// New directly for exotic layouts).
+	if capacity < 1 || capacity > maxNamedCapacity {
+		return nil, fmt.Errorf("device: per-trap capacity must be in [1, %d] (got %d)", maxNamedCapacity, capacity)
+	}
 	var a, b int
 	switch {
 	case len(name) > 2 && name[0] == 'R':
 		if _, err := fmt.Sscanf(name, "R-%d", &a); err != nil {
 			return nil, fmt.Errorf("device: malformed R-series name %q", name)
 		}
-		if a < 3 {
-			return nil, fmt.Errorf("device: racetrack needs >= 3 traps")
+		if a < 3 || a > maxNamedTraps {
+			return nil, fmt.Errorf("device: R-series trap count must be in [3, %d] (got %d)", maxNamedTraps, a)
 		}
 		return Racetrack(a, capacity), nil
 	case len(name) > 2 && name[0] == 'L':
 		if _, err := fmt.Sscanf(name, "L-%d", &a); err != nil {
 			return nil, fmt.Errorf("device: malformed L-series name %q", name)
 		}
+		if a < 1 || a > maxNamedTraps {
+			return nil, fmt.Errorf("device: L-series trap count must be in [1, %d] (got %d)", maxNamedTraps, a)
+		}
 		return Linear(a, capacity), nil
 	case len(name) > 2 && name[0] == 'S':
 		if _, err := fmt.Sscanf(name, "S-%d", &a); err != nil {
 			return nil, fmt.Errorf("device: malformed S-series name %q", name)
 		}
+		if a < 1 || a > maxNamedTraps {
+			return nil, fmt.Errorf("device: S-series trap count must be in [1, %d] (got %d)", maxNamedTraps, a)
+		}
 		return Star(a, capacity), nil
 	case len(name) > 2 && name[0] == 'G':
 		if _, err := fmt.Sscanf(name, "G-%dx%d", &a, &b); err != nil {
 			return nil, fmt.Errorf("device: malformed G-series name %q", name)
+		}
+		if a < 1 || b < 1 || a > maxNamedTraps || b > maxNamedTraps || a*b > maxNamedTraps {
+			return nil, fmt.Errorf("device: G-series dimensions must be positive with at most %d traps (got %dx%d)", maxNamedTraps, a, b)
 		}
 		return Grid(a, b, capacity), nil
 	}

@@ -1,0 +1,210 @@
+// Package engine is the concurrent compilation layer on top of the
+// S-SYNC compiler stack: a worker-pool batch compiler (Pool), a
+// content-addressed LRU result cache keyed by the canonical form of each
+// request (Key, Cache), and portfolio racing (Race) that runs several
+// strategies for one circuit concurrently and keeps the best schedule.
+// It exists so that services handling many compilation requests — the
+// experiment grids in internal/exp, cmd/ssyncd, or any embedding — can
+// saturate the machine and skip recompiling identical requests entirely.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ssync/internal/baseline"
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+)
+
+// Compiler names one of the three evaluated compilers.
+type Compiler string
+
+const (
+	// Murali is the Murali et al. (ISCA 2020) baseline.
+	Murali Compiler = "murali"
+	// Dai is the Dai et al. (IEEE TQE 2024) baseline.
+	Dai Compiler = "dai"
+	// SSync is this repository's S-SYNC compiler. The zero Compiler value
+	// also selects it.
+	SSync Compiler = "ssync"
+)
+
+// Job is one compilation request: a circuit, a device, a compiler and —
+// for S-SYNC — an optional configuration.
+type Job struct {
+	// Label is an optional caller tag carried through to the result.
+	Label string
+	// Circuit is the program to schedule. The engine never mutates it.
+	Circuit *circuit.Circuit
+	// Topo is the target device.
+	Topo *device.Topology
+	// Compiler selects murali, dai or ssync ("" means ssync).
+	Compiler Compiler
+	// Config tunes the S-SYNC scheduler; nil means core.DefaultConfig().
+	// Ignored by the baselines, which take no configuration.
+	Config *core.Config
+	// Timeout bounds this job's compile time; 0 falls back to the pool's
+	// default (or no limit when compiled directly).
+	Timeout time.Duration
+}
+
+// JobResult pairs a Job with its outcome. Exactly one of Res and Err is
+// set. Res may be shared with the cache and other callers: treat it as
+// read-only.
+type JobResult struct {
+	Label    string
+	Key      Key
+	Res      *core.Result
+	Err      error
+	CacheHit bool
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Compiled counts compilations actually executed (cache misses that
+	// ran to completion, successfully or not).
+	Compiled uint64
+	// Errors counts jobs that finished with a non-nil error.
+	Errors uint64
+	Cache  CacheStats
+}
+
+// Options configures a new Engine.
+type Options struct {
+	// CacheSize bounds the result cache: 0 selects DefaultCacheSize,
+	// negative disables caching entirely.
+	CacheSize int
+}
+
+// DefaultCacheSize is the result-cache bound used when Options.CacheSize
+// is zero.
+const DefaultCacheSize = 512
+
+// Engine compiles jobs with content-addressed result reuse. It is safe
+// for concurrent use by multiple goroutines.
+type Engine struct {
+	cache    *Cache[*core.Result] // nil when caching is disabled
+	compiled atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// New returns an engine with the given options.
+func New(opt Options) *Engine {
+	e := &Engine{}
+	switch {
+	case opt.CacheSize < 0:
+		// caching disabled
+	case opt.CacheSize == 0:
+		e.cache = NewCache[*core.Result](DefaultCacheSize)
+	default:
+		e.cache = NewCache[*core.Result](opt.CacheSize)
+	}
+	return e
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{Compiled: e.compiled.Load(), Errors: e.errors.Load()}
+	if e.cache != nil {
+		s.Cache = e.cache.Stats()
+	}
+	return s
+}
+
+// Compile runs one job, consulting the result cache first. Cancellation
+// of ctx or expiry of the job's timeout interrupts the compiler
+// cooperatively — the compilers poll the context between scheduler
+// iterations — so when Compile returns, no work is still running on the
+// job's behalf and failed results are never cached.
+func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
+	out := JobResult{Label: j.Label}
+	if j.Circuit == nil || j.Topo == nil {
+		out.Err = fmt.Errorf("engine: job %q needs both a circuit and a topology", j.Label)
+		e.errors.Add(1)
+		return out
+	}
+	switch j.Compiler {
+	case Murali, Dai, SSync, "":
+	default:
+		// Reject up front so the Compiled counter only ever counts real
+		// compiler executions.
+		out.Err = fmt.Errorf("engine: unknown compiler %q", j.Compiler)
+		e.errors.Add(1)
+		return out
+	}
+	// Content addressing costs a full canonical render + hash per job, so
+	// it is skipped entirely on cacheless engines; Key stays zero there.
+	if e.cache != nil {
+		key, err := JobKey(j)
+		if err != nil {
+			out.Err = err
+			e.errors.Add(1)
+			return out
+		}
+		out.Key = key
+		if res, ok := e.cache.Get(key); ok {
+			out.Res, out.CacheHit = res, true
+			return out
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		e.errors.Add(1)
+		return out
+	}
+	out.Res, out.Err = e.compileBounded(ctx, j)
+	if out.Err != nil {
+		e.errors.Add(1)
+		return out
+	}
+	if e.cache != nil {
+		e.cache.Put(out.Key, out.Res)
+	}
+	return out
+}
+
+// compileBounded dispatches to the job's compiler under ctx and the job
+// timeout. The compilers are cooperatively cancellable, so this runs on
+// the calling goroutine and holds it (and any pool token the caller
+// carries) until compilation really stops.
+func (e *Engine) compileBounded(ctx context.Context, j Job) (*core.Result, error) {
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+	res, err := compileCtx(ctx, j)
+	e.compiled.Add(1)
+	if err != nil && ctx.Err() != nil {
+		err = fmt.Errorf("engine: job %q: %w", j.Label, err)
+	}
+	return res, err
+}
+
+// CompileDirect is the uncached, unbounded compiler dispatch — the single
+// place (with compileCtx) that maps a Compiler name to an implementation.
+// Engine.Compile wraps it with caching and deadlines; serial callers (and
+// the experiment runners' reference path) may call it directly.
+func CompileDirect(j Job) (*core.Result, error) {
+	return compileCtx(context.Background(), j)
+}
+
+func compileCtx(ctx context.Context, j Job) (*core.Result, error) {
+	switch j.Compiler {
+	case Murali:
+		return baseline.CompileMuraliCtx(ctx, j.Circuit, j.Topo)
+	case Dai:
+		return baseline.CompileDaiCtx(ctx, j.Circuit, j.Topo)
+	case SSync, "":
+		cfg := core.DefaultConfig()
+		if j.Config != nil {
+			cfg = *j.Config
+		}
+		return core.CompileCtx(ctx, cfg, j.Circuit, j.Topo)
+	}
+	return nil, fmt.Errorf("engine: unknown compiler %q", j.Compiler)
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/mapping"
+	"ssync/internal/qasm"
+	"ssync/internal/workloads"
+)
+
+func testJob(t testing.TB, bench, topoName string, capacity int, comp Compiler) Job {
+	t.Helper()
+	c, err := workloads.Build(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := device.ByName(topoName, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{Label: bench + "/" + topoName + "/" + string(comp), Circuit: c, Topo: topo, Compiler: comp}
+}
+
+// testGrid is the quick workload×topology×compiler grid shared by the
+// batch tests and benchmarks.
+func testGrid(t testing.TB) []Job {
+	var jobs []Job
+	for _, bench := range []string{"QFT_12", "Adder_4", "BV_12"} {
+		for _, topoName := range []string{"S-4", "G-2x2"} {
+			for _, comp := range []Compiler{Murali, Dai, SSync} {
+				jobs = append(jobs, testJob(t, bench, topoName, 8, comp))
+			}
+		}
+	}
+	return jobs
+}
+
+func TestJobKeyStableAcrossReparse(t *testing.T) {
+	j := testJob(t, "QFT_12", "G-2x2", 8, SSync)
+	k1, err := JobKey(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A gate-order-preserving round trip through the canonical QASM form
+	// must land on the same key: content addressing may not depend on
+	// which *Circuit object carries the program.
+	reparsed, err := qasm.Parse(qasm.Write(j.Circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := j
+	j2.Circuit = reparsed
+	k2, err := JobKey(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("key changed across reparse: %s vs %s", k1, k2)
+	}
+
+	// And a second round trip stays fixed (canonical form is a fixpoint).
+	again, err := qasm.Parse(qasm.Write(reparsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := j
+	j3.Circuit = again
+	k3, err := JobKey(j3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k3 {
+		t.Fatalf("key drifted on second reparse: %s vs %s", k1, k3)
+	}
+}
+
+func TestJobKeySeparatesRequests(t *testing.T) {
+	base := testJob(t, "QFT_12", "G-2x2", 8, SSync)
+	baseKey, err := JobKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]Job{
+		"different circuit":  testJob(t, "BV_12", "G-2x2", 8, SSync),
+		"different topology": testJob(t, "QFT_12", "S-4", 8, SSync),
+		"different capacity": testJob(t, "QFT_12", "G-2x2", 9, SSync),
+		"different compiler": testJob(t, "QFT_12", "G-2x2", 8, Dai),
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mapping.Strategy = mapping.EvenDivided
+	withCfg := base
+	withCfg.Config = &cfg
+	variants["different config"] = withCfg
+	for name, j := range variants {
+		k, err := JobKey(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Errorf("%s produced the same key %s", name, k)
+		}
+	}
+
+	// The zero compiler is an alias for SSync, and an explicit default
+	// config is the same request as a nil config.
+	alias := base
+	alias.Compiler = ""
+	defCfg := core.DefaultConfig()
+	alias.Config = &defCfg
+	k, err := JobKey(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != baseKey {
+		t.Errorf("ssync alias + explicit default config changed the key")
+	}
+
+	// Labels and timeouts are delivery details, not content.
+	relabeled := base
+	relabeled.Label = "other"
+	relabeled.Timeout = time.Second
+	if k, _ := JobKey(relabeled); k != baseKey {
+		t.Errorf("label/timeout changed the key")
+	}
+}
+
+func TestCompileMatchesDirectPath(t *testing.T) {
+	eng := New(Options{})
+	job := testJob(t, "QFT_12", "G-2x2", 8, SSync)
+	got := eng.Compile(context.Background(), job)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	want, err := core.Compile(core.DefaultConfig(), job.Circuit, job.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Res.Schedule, want.Schedule) {
+		t.Error("engine schedule differs from direct core.Compile")
+	}
+	if got.Res.Counts != want.Counts {
+		t.Errorf("counts differ: %+v vs %+v", got.Res.Counts, want.Counts)
+	}
+}
+
+func TestCompileCacheRoundTrip(t *testing.T) {
+	eng := New(Options{})
+	job := testJob(t, "Adder_4", "S-4", 8, SSync)
+	first := eng.Compile(context.Background(), job)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.CacheHit {
+		t.Error("first compile reported a cache hit")
+	}
+	second := eng.Compile(context.Background(), job)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.CacheHit {
+		t.Error("second identical compile missed the cache")
+	}
+	if second.Res != first.Res {
+		t.Error("cache hit returned a different result object")
+	}
+	st := eng.Stats()
+	if st.Compiled != 1 || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 compile, 1 hit, 1 miss", st)
+	}
+}
+
+func TestCompileUnknownCompiler(t *testing.T) {
+	eng := New(Options{})
+	job := testJob(t, "BV_12", "S-4", 8, "qiskit")
+	if res := eng.Compile(context.Background(), job); res.Err == nil {
+		t.Fatal("unknown compiler accepted")
+	}
+	st := eng.Stats()
+	if st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+	if st.Compiled != 0 {
+		t.Errorf("compiled = %d, want 0 — nothing was executed", st.Compiled)
+	}
+}
+
+func TestCompileTimeout(t *testing.T) {
+	eng := New(Options{})
+	job := testJob(t, "QFT_12", "G-2x2", 8, SSync)
+	job.Timeout = time.Nanosecond
+	res := eng.Compile(context.Background(), job)
+	if res.Err == nil {
+		t.Fatal("1ns timeout did not fail the job")
+	}
+	// A timed-out result must never poison the cache.
+	job.Timeout = 0
+	if again := eng.Compile(context.Background(), job); again.Err != nil || again.CacheHit {
+		t.Errorf("post-timeout compile: err=%v hit=%v, want clean miss", again.Err, again.CacheHit)
+	}
+}
+
+func TestCompileCancelledContext(t *testing.T) {
+	eng := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := eng.Compile(ctx, testJob(t, "QFT_12", "G-2x2", 8, SSync))
+	if res.Err == nil {
+		t.Fatal("cancelled context did not fail the job")
+	}
+}

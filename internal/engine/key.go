@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"ssync/internal/core"
+	"ssync/internal/qasm"
+)
+
+// Key content-addresses one compilation request. Two jobs share a key
+// exactly when their canonical OpenQASM, device layout, compiler and
+// configuration coincide — so a key hit is a proof the cached schedule
+// answers the new request.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// keyVersion tags the hash layout; bump it whenever the serialisation
+// below changes so stale external key material can never alias.
+const keyVersion = "ssync-job-v1"
+
+// JobKey computes the content address of a job. The circuit enters via
+// its canonical OpenQASM 2.0 rendering (qasm.Write), which is stable
+// across gate-order-preserving re-parses; the topology enters via its
+// name plus full trap/segment layout; the S-SYNC configuration enters via
+// its Go-syntax rendering (deterministic field order). Baseline compilers
+// take no configuration, so theirs hashes as a fixed token.
+func JobKey(j Job) (Key, error) {
+	var k Key
+	if j.Circuit == nil || j.Topo == nil {
+		return k, fmt.Errorf("engine: cannot key a job without circuit and topology")
+	}
+	h := sha256.New()
+	io.WriteString(h, keyVersion)
+	io.WriteString(h, "\x00qasm\x00")
+	io.WriteString(h, qasm.Write(j.Circuit))
+	io.WriteString(h, "\x00topo\x00")
+	// Length-prefix the free-form name so a crafted name can never alias
+	// the trap/segment serialization that follows.
+	fmt.Fprintf(h, "%d\x00%s", len(j.Topo.Name), j.Topo.Name)
+	for _, tr := range j.Topo.Traps {
+		fmt.Fprintf(h, "|t%d:%d", tr.ID, tr.Capacity)
+	}
+	for _, s := range j.Topo.Segments {
+		fmt.Fprintf(h, "|s%d-%d:%d,%d:j%d:h%d", s.A, s.B, int(s.EndA), int(s.EndB), s.Junctions, s.Hops)
+	}
+	io.WriteString(h, "\x00compiler\x00")
+	io.WriteString(h, string(normalizeCompiler(j.Compiler)))
+	io.WriteString(h, "\x00config\x00")
+	io.WriteString(h, configSignature(j))
+	h.Sum(k[:0])
+	return k, nil
+}
+
+func normalizeCompiler(c Compiler) Compiler {
+	if c == "" {
+		return SSync
+	}
+	return c
+}
+
+func configSignature(j Job) string {
+	if normalizeCompiler(j.Compiler) != SSync {
+		return "none"
+	}
+	cfg := core.DefaultConfig()
+	if j.Config != nil {
+		cfg = *j.Config
+	}
+	// %#v renders struct fields in declaration order with full float
+	// precision, giving a deterministic signature without reflection
+	// plumbing of our own.
+	return fmt.Sprintf("%#v", cfg)
+}

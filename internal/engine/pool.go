@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool fans a batch of jobs across a fixed set of workers. Results come
+// back in job order regardless of completion order, so a batch run is a
+// drop-in replacement for the equivalent serial loop.
+type Pool struct {
+	// Engine executes (and caches) the jobs; nil gets a fresh cacheless
+	// engine per Run.
+	Engine *Engine
+	// Workers is the concurrency bound; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Timeout is the per-job default applied to jobs whose own Timeout is
+	// zero; 0 means unbounded.
+	Timeout time.Duration
+	// Tokens, when non-nil, is a capacity limiter shared across pools:
+	// every in-flight job holds one token, so a buffered channel of size N
+	// bounds total concurrency at N machine-wide even when many Run calls
+	// (e.g. concurrent service requests) are active at once.
+	Tokens chan struct{}
+}
+
+// Run compiles every job and returns one JobResult per job, index-aligned
+// with the input. Cancelling ctx makes remaining jobs fail fast with the
+// context error; already-finished results are kept.
+func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
+	eng := p.Engine
+	if eng == nil {
+		eng = New(Options{CacheSize: -1})
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				if j.Timeout == 0 {
+					j.Timeout = p.Timeout
+				}
+				if p.Tokens != nil {
+					select {
+					case p.Tokens <- struct{}{}:
+					case <-ctx.Done():
+						results[i] = JobResult{Label: j.Label, Err: ctx.Err()}
+						continue
+					}
+				}
+				results[i] = eng.Compile(ctx, j)
+				if p.Tokens != nil {
+					<-p.Tokens
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// FirstError returns the lowest-index error in a batch, or nil.
+func FirstError(results []JobResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

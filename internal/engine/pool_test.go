@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// stripTimes zeroes the wall-clock field so schedules can be compared
+// structurally across runs.
+func stripTimes(results []JobResult) {
+	for _, r := range results {
+		if r.Res != nil {
+			r.Res.CompileTime = 0
+		}
+	}
+}
+
+func TestPoolMatchesSerialAndIsDeterministic(t *testing.T) {
+	jobs := testGrid(t)
+	serialEng := New(Options{CacheSize: -1})
+	serial := make([]JobResult, len(jobs))
+	for i, j := range jobs {
+		serial[i] = serialEng.Compile(context.Background(), j)
+	}
+	stripTimes(serial)
+
+	for _, workers := range []int{1, 4, 8} {
+		pool := Pool{Engine: New(Options{CacheSize: -1}), Workers: workers}
+		got := pool.Run(context.Background(), jobs)
+		stripTimes(got)
+		if len(got) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(got), len(jobs))
+		}
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("workers=%d job %s: %v", workers, jobs[i].Label, got[i].Err)
+			}
+			if got[i].Label != jobs[i].Label {
+				t.Fatalf("workers=%d: result %d carries label %q, want %q (ordering broken)",
+					workers, i, got[i].Label, jobs[i].Label)
+			}
+			if !reflect.DeepEqual(got[i].Res, serial[i].Res) {
+				t.Errorf("workers=%d job %s: parallel result differs from serial", workers, jobs[i].Label)
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentRuns(t *testing.T) {
+	// Several Run calls against one shared engine at once; exercised
+	// under -race in CI.
+	eng := New(Options{})
+	jobs := testGrid(t)
+	done := make(chan error, 3)
+	for g := 0; g < 3; g++ {
+		go func() {
+			pool := Pool{Engine: eng, Workers: 4}
+			done <- FirstError(pool.Run(context.Background(), jobs))
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPoolRepeatedBatchServedFromCache(t *testing.T) {
+	eng := New(Options{})
+	pool := Pool{Engine: eng, Workers: 4}
+	jobs := testGrid(t)
+
+	first := pool.Run(context.Background(), jobs)
+	if err := FirstError(first); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := eng.Stats()
+
+	second := pool.Run(context.Background(), jobs)
+	if err := FirstError(second); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+
+	hits := st.Cache.Hits - afterFirst.Cache.Hits
+	if need := (9 * len(jobs)) / 10; int(hits) < need {
+		t.Errorf("repeated batch: %d/%d served from cache, want >= %d", hits, len(jobs), need)
+	}
+	if st.Compiled != afterFirst.Compiled {
+		t.Errorf("repeated batch recompiled %d jobs", st.Compiled-afterFirst.Compiled)
+	}
+	for i := range second {
+		if !second[i].CacheHit {
+			t.Errorf("job %s missed the cache on the repeat run", jobs[i].Label)
+		}
+		if second[i].Res != first[i].Res {
+			t.Errorf("job %s: repeat run returned a different result object", jobs[i].Label)
+		}
+	}
+}
+
+func TestPoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := Pool{Engine: New(Options{CacheSize: -1}), Workers: 2}
+	results := pool.Run(ctx, testGrid(t))
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("job %d succeeded under a cancelled context", i)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestPoolSharedTokensBoundConcurrency(t *testing.T) {
+	// Two pools share a 1-token limiter; with instrumentable jobs out of
+	// reach (compilers are opaque), assert the observable contract:
+	// everything completes correctly and the limiter ends drained.
+	tokens := make(chan struct{}, 1)
+	eng := New(Options{CacheSize: -1})
+	jobs := testGrid(t)
+	done := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			pool := Pool{Engine: eng, Workers: 4, Tokens: tokens}
+			done <- FirstError(pool.Run(context.Background(), jobs))
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+	if len(tokens) != 0 {
+		t.Errorf("%d tokens still held after both runs finished", len(tokens))
+	}
+	// A cancelled context must not deadlock on a fully-held limiter.
+	tokens <- struct{}{} // exhaust capacity
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := Pool{Engine: eng, Workers: 2, Tokens: tokens}
+	for i, r := range pool.Run(ctx, jobs) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestPoolEmptyBatch(t *testing.T) {
+	pool := Pool{}
+	if got := pool.Run(context.Background(), nil); len(got) != 0 {
+		t.Fatalf("empty batch produced %d results", len(got))
+	}
+}

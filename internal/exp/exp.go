@@ -8,26 +8,29 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"ssync/internal/baseline"
 	"ssync/internal/circuit"
 	"ssync/internal/core"
 	"ssync/internal/device"
+	"ssync/internal/engine"
 	"ssync/internal/mapping"
 	"ssync/internal/noise"
 	"ssync/internal/sim"
 	"ssync/internal/workloads"
 )
 
-// CompilerName identifies one of the three evaluated compilers.
-type CompilerName string
+// CompilerName identifies one of the three evaluated compilers; it is
+// the engine's compiler identifier, so the experiment grid and the
+// batch/service layers share one dispatch.
+type CompilerName = engine.Compiler
 
 const (
-	Murali CompilerName = "murali"
-	Dai    CompilerName = "dai"
-	SSync  CompilerName = "ssync"
+	Murali = engine.Murali
+	Dai    = engine.Dai
+	SSync  = engine.SSync
 )
 
 // Compilers lists the evaluation order used in the figures.
@@ -35,15 +38,7 @@ var Compilers = []CompilerName{Murali, Dai, SSync}
 
 // CompileWith dispatches to the named compiler with default configuration.
 func CompileWith(name CompilerName, c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
-	switch name {
-	case Murali:
-		return baseline.CompileMurali(c, topo)
-	case Dai:
-		return baseline.CompileDai(c, topo)
-	case SSync:
-		return core.Compile(core.DefaultConfig(), c, topo)
-	}
-	return nil, fmt.Errorf("exp: unknown compiler %q", name)
+	return engine.CompileDirect(engine.Job{Circuit: c, Topo: topo, Compiler: name})
 }
 
 // Options scales the experiments: Quick shrinks workloads and sweeps to
@@ -74,13 +69,20 @@ func runCell(name CompilerName, app string, c *circuit.Circuit, topo *device.Top
 	if err != nil {
 		return Cell{}, fmt.Errorf("exp: %s on %s with %s: %w", app, topo.Name, name, err)
 	}
+	return cellFromResult(name, app, topo, res), nil
+}
+
+// cellFromResult scores one compiled grid entry — the single place a
+// Cell is built, shared by the serial and pooled paths so they cannot
+// diverge.
+func cellFromResult(name CompilerName, app string, topo *device.Topology, res *core.Result) Cell {
 	m := sim.Run(res.Schedule, topo, sim.DefaultOptions())
 	return Cell{
 		App: app, Topo: topo.Name, Compiler: name,
 		Shuttles: res.Counts.Shuttles, Swaps: res.Counts.Swaps,
 		Success: m.SuccessRate, LogSuccess: m.LogSuccess,
 		ExecTime: m.ExecutionTime, CompileTime: res.CompileTime,
-	}, nil
+	}
 }
 
 // comparisonApps returns the Fig. 8–10 benchmark grid: application name →
@@ -118,7 +120,8 @@ func ResetCaches() { comparisonCache = map[bool][]Cell{} }
 var comparisonCache = map[bool][]Cell{}
 
 // Comparison runs the full Figs. 8–10 grid: every benchmark × topology ×
-// compiler cell, in deterministic order. Results are memoised per scale.
+// compiler cell, in deterministic order, fanned across an engine.Pool.
+// Results are memoised per scale.
 func Comparison(opt Options) ([]Cell, error) {
 	if cells, ok := comparisonCache[opt.Quick]; ok {
 		return cells, nil
@@ -130,13 +133,15 @@ func Comparison(opt Options) ([]Cell, error) {
 	return cells, err
 }
 
-func comparison(opt Options) ([]Cell, error) {
+// comparisonJobs enumerates the grid as engine jobs in the exact order the
+// serial loops visited it: app (sorted) → topology → compiler.
+func comparisonJobs(opt Options) ([]engine.Job, error) {
 	apps, build := comparisonApps(opt)
 	capOf := device.PaperCapacity
 	if opt.Quick {
 		capOf = quickCapacity
 	}
-	var cells []Cell
+	var jobs []engine.Job
 	for _, app := range sortedKeys(apps) {
 		c, err := build(app)
 		if err != nil {
@@ -151,13 +156,55 @@ func comparison(opt Options) ([]Cell, error) {
 				continue // paper omits infeasible panels too
 			}
 			for _, comp := range Compilers {
-				cell, err := runCell(comp, app, c, topo)
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, cell)
+				jobs = append(jobs, engine.Job{
+					Label:    app,
+					Circuit:  c,
+					Topo:     topo,
+					Compiler: comp,
+				})
 			}
 		}
+	}
+	return jobs, nil
+}
+
+// comparison compiles the grid concurrently. The compilers are
+// deterministic, so the cells match comparisonSerial field-for-field —
+// except CompileTime, which is wall-clock measured under GOMAXPROCS-way
+// contention here; treat the compile_time column as throughput context,
+// and use fig15 (still serial) for the paper's compile-time scaling.
+func comparison(opt Options) ([]Cell, error) {
+	jobs, err := comparisonJobs(opt)
+	if err != nil {
+		return nil, err
+	}
+	pool := engine.Pool{Engine: engine.New(engine.Options{CacheSize: -1})}
+	results := pool.Run(context.Background(), jobs)
+	cells := make([]Cell, 0, len(results))
+	for i, r := range results {
+		j := jobs[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("exp: %s on %s with %s: %w", j.Label, j.Topo.Name, j.Compiler, r.Err)
+		}
+		cells = append(cells, cellFromResult(j.Compiler, j.Label, j.Topo, r.Res))
+	}
+	return cells, nil
+}
+
+// comparisonSerial is the original single-goroutine grid walk, kept as
+// the reference implementation the pool path is tested against.
+func comparisonSerial(opt Options) ([]Cell, error) {
+	jobs, err := comparisonJobs(opt)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, j := range jobs {
+		cell, err := runCell(j.Compiler, j.Label, j.Circuit, j.Topo)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
 	}
 	return cells, nil
 }

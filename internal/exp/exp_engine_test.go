@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// renderCells gives a byte-exact fingerprint of a cell slice with the
+// wall-clock CompileTime field normalised away (it differs run to run by
+// construction; every semantic field must match exactly).
+func renderCells(cells []Cell) string {
+	out := ""
+	for _, c := range cells {
+		c.CompileTime = 0
+		out += fmt.Sprintf("%+v\n", c)
+	}
+	return out
+}
+
+func TestComparisonPoolMatchesSerialByteForByte(t *testing.T) {
+	serial, err := comparisonSerial(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := comparison(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pooled) != len(serial) {
+		t.Fatalf("pool produced %d cells, serial %d", len(pooled), len(serial))
+	}
+	a, b := renderCells(serial), renderCells(pooled)
+	if a != b {
+		t.Errorf("pooled grid differs from serial grid:\nserial:\n%s\npooled:\n%s", a, b)
+	}
+}

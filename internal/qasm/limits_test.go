@@ -1,0 +1,32 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parser bounds declared qubits and parsed gates so hostile programs
+// fail with errors instead of exhausting memory.
+func TestParseResourceLimits(t *testing.T) {
+	if _, err := Parse("OPENQASM 2.0;\nqreg q[2000000000];\nh q[0];"); err == nil {
+		t.Error("oversized register accepted")
+	}
+	// Individually-legal registers whose total exceeds the cap.
+	if _, err := Parse("qreg a[1048576];\nqreg b[1];\nh a[0];"); err == nil {
+		t.Error("oversized total qubit count accepted")
+	}
+	// A register at exactly the cap still parses.
+	if _, err := Parse("qreg q[1048576];\nh q[0];"); err != nil {
+		t.Errorf("at-cap register rejected: %v", err)
+	}
+	// Broadcast gates over a large register hit the gate cap with an
+	// error, not an OOM.
+	var b strings.Builder
+	b.WriteString("qreg q[1048576];\n")
+	for i := 0; i < 5; i++ {
+		b.WriteString("h q;\n")
+	}
+	if _, err := Parse(b.String()); err == nil || !strings.Contains(err.Error(), "gate limit") {
+		t.Errorf("gate-limit breach not reported: %v", err)
+	}
+}

@@ -141,6 +141,11 @@ func (p *parser) ensureCircuit() error {
 	for _, r := range p.order {
 		r.offset = total
 		total += r.size
+		// Each register is individually capped, so checking the running
+		// total every step also makes overflow unreachable.
+		if total > maxDeclaredQubits {
+			return fmt.Errorf("qasm: program declares more than %d qubits", maxDeclaredQubits)
+		}
 	}
 	if total == 0 {
 		return fmt.Errorf("qasm: no qubits declared before first instruction")
@@ -176,6 +181,9 @@ func (p *parser) parseStatement() error {
 		}
 		if n <= 0 {
 			return p.errorf("register %q has non-positive size %d", name, n)
+		}
+		if n > maxDeclaredQubits {
+			return p.errorf("register %q size %d exceeds the %d-qubit limit", name, n, maxDeclaredQubits)
 		}
 		if err := p.expectSymbol("]"); err != nil {
 			return err
@@ -236,7 +244,7 @@ func (p *parser) parseStatement() error {
 			return err
 		}
 		for _, q := range qs {
-			if err := p.circ.Append(circuit.New("measure", []int{q})); err != nil {
+			if err := p.appendGate(circuit.New("measure", []int{q})); err != nil {
 				return err
 			}
 		}
@@ -254,7 +262,7 @@ func (p *parser) parseStatement() error {
 			return err
 		}
 		for _, q := range qs {
-			if err := p.circ.Append(circuit.New("reset", []int{q})); err != nil {
+			if err := p.appendGate(circuit.New("reset", []int{q})); err != nil {
 				return err
 			}
 		}
@@ -280,7 +288,7 @@ func (p *parser) parseStatement() error {
 		if err := p.expectSymbol(";"); err != nil {
 			return err
 		}
-		return p.circ.Append(circuit.New("barrier", all))
+		return p.appendGate(circuit.New("barrier", all))
 	default:
 		return p.parseGateCall()
 	}
@@ -515,6 +523,23 @@ func (p *parser) parseGateCall() error {
 
 const maxExpansionDepth = 64
 
+// maxDeclaredQubits and maxParsedGates bound parser allocations so a
+// small hostile program (e.g. a broadcast gate over a huge register, or
+// an 8 MiB body of broadcasts) cannot exhaust memory before any
+// downstream feasibility check runs.
+const (
+	maxDeclaredQubits = 1 << 20
+	maxParsedGates    = 1 << 22
+)
+
+// appendGate is circuit.Append behind the program-size guard.
+func (p *parser) appendGate(g circuit.Gate) error {
+	if len(p.circ.Gates) >= maxParsedGates {
+		return fmt.Errorf("qasm: program exceeds the %d-gate limit", maxParsedGates)
+	}
+	return p.circ.Append(g)
+}
+
 // applyGate emits one application of `name`, expanding user definitions.
 func (p *parser) applyGate(name string, params []float64, qubits []int, depth int) error {
 	if depth > maxExpansionDepth {
@@ -528,7 +553,7 @@ func (p *parser) applyGate(name string, params []float64, qubits []int, depth in
 		canonical = "u3"
 	}
 	if p.native[canonical] {
-		return p.circ.Append(circuit.New(canonical, qubits, params...))
+		return p.appendGate(circuit.New(canonical, qubits, params...))
 	}
 	def, ok := p.gates[name]
 	if !ok {
@@ -554,7 +579,7 @@ func (p *parser) applyGate(name string, params []float64, qubits []int, depth in
 			qs[i] = qenv[qn]
 		}
 		if call.barrier {
-			if err := p.circ.Append(circuit.New("barrier", qs)); err != nil {
+			if err := p.appendGate(circuit.New("barrier", qs)); err != nil {
 				return err
 			}
 			continue

@@ -288,7 +288,7 @@ func TestWriteHasHeader(t *testing.T) {
 }
 
 func TestParseTestdataCorpus(t *testing.T) {
-	files, err := filepath.Glob("../../testdata/*.qasm")
+	files, err := filepath.Glob("testdata/*.qasm")
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no testdata corpus found: %v", err)
 	}

@@ -1,0 +1,37 @@
+// Bernstein-Vazirani over 6 data qubits with hidden string 101101 and a
+// phase-kickback ancilla.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[7];
+creg c[6];
+
+x q[6];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+h q[5];
+h q[6];
+barrier q;
+
+// oracle: cx from every set bit of the hidden string into the ancilla
+cx q[0],q[6];
+cx q[2],q[6];
+cx q[3],q[6];
+cx q[5],q[6];
+
+barrier q;
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+h q[5];
+
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+measure q[4] -> c[4];
+measure q[5] -> c[5];

@@ -1,0 +1,27 @@
+// Comment and whitespace edge cases: header comments, inline comments,
+// blank lines, statements split
+// across lines, register broadcasting and reset.
+
+OPENQASM 2.0; // version pragma with a trailing comment
+include "qelib1.inc";
+
+qreg q[2]; qreg r[2]; // two quantum registers on one line
+creg m[2];
+
+// broadcast a single-qubit gate over a whole register
+h q;
+
+cx
+  q[0],
+  r[0]; // a gate call split across three lines
+
+cx q[1],r[1];
+barrier q,r;
+
+reset r[0];
+sdg q[0];
+tdg q[1];
+id r[1];
+
+measure q[0] -> m[0];
+measure q[1] -> m[1];

@@ -1,0 +1,25 @@
+// Parametrised-rotation coverage: every expression form the grammar
+// allows — constants, pi arithmetic, unary minus, functions, powers and
+// nested parentheses — plus the general U and u2/u3 families.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+
+rx(pi/2) q[0];
+ry(-pi/4) q[1];
+rz(0.5) q[2];
+rz(2*pi/3) q[0];
+rx(pi^2/8) q[1];
+ry(sqrt(2)/2) q[2];
+rz(sin(pi/6)+cos(pi/3)) q[0];
+rx(ln(2.718281828459045)) q[1];
+rz(-(pi/8)) q[2];
+rz((1+2)*(3-1)/4) q[0];
+
+U(pi/2,0,pi) q[0];
+u3(0.1,0.2,0.3) q[1];
+u2(0,pi) q[2];
+u1(pi/16) q[0];
+
+crz(pi/5) q[0],q[1];
+rzz(0.25) q[1],q[2];

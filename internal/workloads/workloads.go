@@ -204,15 +204,44 @@ func Table2() []Spec {
 	}
 }
 
+// maxBuildSize bounds Build's name-parsed problem size.
+const maxBuildSize = 1 << 14
+
+// ParseSize extracts the problem size from a Table 2-style benchmark
+// name ("QFT_24" -> 24). It is the exact parser Build uses, exported so
+// services can enforce size limits without risking parser divergence.
+func ParseSize(name string) (int, bool) {
+	parts := strings.SplitN(name, "_", 2)
+	if len(parts) != 2 {
+		return 0, false
+	}
+	var size int
+	if _, err := fmt.Sscanf(parts[1], "%d", &size); err != nil {
+		return 0, false
+	}
+	return size, true
+}
+
 // Build constructs a benchmark by Table 2 name (e.g. "QFT_24", "Adder_32").
 func Build(name string) (*circuit.Circuit, error) {
 	parts := strings.SplitN(name, "_", 2)
 	if len(parts) != 2 {
 		return nil, fmt.Errorf("workloads: malformed benchmark name %q (want family_size)", name)
 	}
-	var size int
-	if _, err := fmt.Sscanf(parts[1], "%d", &size); err != nil {
+	size, ok := ParseSize(name)
+	if !ok {
 		return nil, fmt.Errorf("workloads: malformed benchmark size in %q", name)
+	}
+	if size < 1 {
+		// Error here so caller-supplied (e.g. network) names get an error
+		// instead of reaching the panicking family constructors.
+		return nil, fmt.Errorf("workloads: benchmark size must be >= 1 (got %d)", size)
+	}
+	if size > maxBuildSize {
+		// Backstop against name-driven gigabyte allocations (the largest
+		// Table 2 entry is 66); call the family constructors directly for
+		// deliberate larger instances.
+		return nil, fmt.Errorf("workloads: benchmark size %d exceeds the %d limit for named construction", size, maxBuildSize)
 	}
 	// Table 2 naming: the suffix is the problem size (operand bits for the
 	// adder, data qubits for BV), not the device qubit count.

@@ -16,10 +16,14 @@
 package ssync
 
 import (
+	"context"
+	"sync"
+
 	"ssync/internal/baseline"
 	"ssync/internal/circuit"
 	"ssync/internal/core"
 	"ssync/internal/device"
+	"ssync/internal/engine"
 	"ssync/internal/exp"
 	"ssync/internal/mapping"
 	"ssync/internal/noise"
@@ -220,6 +224,80 @@ func RunExperiment(name string, opt ExperimentOptions) (string, error) {
 func RunExperimentCSV(name string, opt ExperimentOptions) (string, error) {
 	return exp.RunCSV(name, opt)
 }
+
+// ---- concurrent compilation engine ----
+
+// Engine compiles jobs concurrently with content-addressed result reuse.
+type Engine = engine.Engine
+
+// EngineOptions configures a new Engine (cache size, etc.).
+type EngineOptions = engine.Options
+
+// EngineStats snapshots engine and cache counters.
+type EngineStats = engine.Stats
+
+// CompileJob is one batch-compilation request.
+type CompileJob = engine.Job
+
+// CompileJobResult pairs a CompileJob with its outcome.
+type CompileJobResult = engine.JobResult
+
+// CompilePool fans batches of jobs across a fixed worker set.
+type CompilePool = engine.Pool
+
+// PortfolioVariant is one entrant in a portfolio race.
+type PortfolioVariant = engine.Variant
+
+// PortfolioOutcome reports a finished portfolio race.
+type PortfolioOutcome = engine.RaceOutcome
+
+// CompilerID selects a compiler for engine jobs.
+type CompilerID = engine.Compiler
+
+// Engine compiler identifiers.
+const (
+	MuraliCompiler = engine.Murali
+	DaiCompiler    = engine.Dai
+	SSyncCompiler  = engine.SSync
+)
+
+// NewEngine returns a concurrent compilation engine with a
+// content-addressed LRU result cache.
+func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// defaultEngine backs the package-level batch/portfolio helpers so
+// repeated calls share one result cache.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily-created process-wide engine used by
+// CompileBatch and CompilePortfolio.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = engine.New(engine.Options{}) })
+	return defaultEngine
+}
+
+// CompileBatch fans jobs across GOMAXPROCS workers of the process-wide
+// engine, returning results index-aligned with the input. Repeated
+// identical jobs are served from the shared result cache.
+func CompileBatch(ctx context.Context, jobs []CompileJob) []CompileJobResult {
+	pool := engine.Pool{Engine: DefaultEngine()}
+	return pool.Run(ctx, jobs)
+}
+
+// CompilePortfolio races several strategies for one circuit concurrently
+// on the process-wide engine and returns the outcome with the best
+// schedule (highest success rate, then fewest shuttles). A nil variants
+// slice races engine.DefaultPortfolio().
+func CompilePortfolio(ctx context.Context, c *Circuit, topo *Topology, variants []PortfolioVariant) (*PortfolioOutcome, error) {
+	return DefaultEngine().Race(ctx, c, topo, variants, engine.RaceOptions{})
+}
+
+// DefaultPortfolio returns the standard portfolio entrants: S-SYNC under
+// each first-level mapping strategy plus the commutation-aware scheduler.
+func DefaultPortfolio() []PortfolioVariant { return engine.DefaultPortfolio() }
 
 // ---- analysis & extensions ----
 
