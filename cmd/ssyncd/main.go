@@ -1,24 +1,37 @@
 // Command ssyncd serves S-SYNC compilation over HTTP JSON: single
 // compiles, worker-pool batches and portfolio races, backed by a shared
-// content-addressed result cache so repeated requests skip compilation.
+// content-addressed result cache and single-flight coalescing so
+// repeated and concurrent identical requests skip compilation.
 //
 // Usage:
 //
-//	ssyncd -addr :8484 -workers 8 -cache 1024 -timeout 60s
+//	ssyncd -addr :8484 -workers 8 -cache 1024 -timeout 60s -drain 30s
 //
 // Endpoints:
 //
-//	POST /v1/compile  {"benchmark":"QFT_24","topology":"G-2x3"}
-//	POST /v1/batch    {"jobs":[{...},{...}]}
+//	POST /v2/compile   {"benchmark":"QFT_24","topology":"G-2x3","compiler":"ssync-annealed"}
+//	POST /v2/batch     {"requests":[{...},{...}]}
+//	GET  /v2/compilers
+//	GET  /v2/stats
+//	POST /v1/compile   (frozen schema; thin adapter over /v2)
+//	POST /v1/batch
 //	GET  /v1/stats
+//
+// On SIGINT/SIGTERM the listener closes immediately and in-flight
+// compilations get -drain to finish before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"ssync/internal/engine"
@@ -30,15 +43,15 @@ func main() {
 		workers = flag.Int("workers", 0, "batch worker count (default: GOMAXPROCS)")
 		cache   = flag.Int("cache", engine.DefaultCacheSize, "result-cache entries (negative disables)")
 		timeout = flag.Duration("timeout", 60*time.Second, "default per-job compile timeout (0 = unbounded)")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
 	)
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	eng := engine.New(engine.Options{CacheSize: *cache})
+	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers})
 	srv := newServer(eng, *workers, *timeout)
 	hs := &http.Server{
-		Addr:    *addr,
 		Handler: srv.routes(),
 		// Bound how long a client may dribble headers/body and how long an
 		// idle keep-alive connection holds a file descriptor; compile time
@@ -47,7 +60,49 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Printf("ssyncd listening on %s (workers=%d cache=%d timeout=%s)\n",
-		*addr, *workers, *cache, *timeout)
-	log.Fatal(hs.ListenAndServe())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("ssyncd listening on %s (workers=%d cache=%d timeout=%s drain=%s)\n",
+		ln.Addr(), *workers, *cache, *timeout, *drain)
+	if err := serve(ctx, hs, ln, *drain); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ssyncd drained and stopped")
+}
+
+// serve runs hs on ln until ctx is cancelled (SIGINT/SIGTERM in main),
+// then shuts down gracefully: the listener closes so no new requests are
+// accepted, while in-flight requests — compilations included — get up to
+// drain to finish instead of being killed mid-request. A nil return
+// means a clean drain; context.DeadlineExceeded means the drain timeout
+// expired with requests still running (they are then abandoned).
+func serve(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		// Serve failed on its own (bad listener, etc.) before any signal.
+		return err
+	case <-ctx.Done():
+	}
+	sdCtx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sdCtx, cancel = context.WithTimeout(sdCtx, drain)
+		defer cancel()
+	}
+	if err := hs.Shutdown(sdCtx); err != nil {
+		return err
+	}
+	return <-errc
 }

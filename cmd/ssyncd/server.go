@@ -10,10 +10,8 @@ import (
 	"time"
 
 	"ssync/internal/circuit"
-	"ssync/internal/core"
 	"ssync/internal/device"
 	"ssync/internal/engine"
-	"ssync/internal/mapping"
 	"ssync/internal/qasm"
 	"ssync/internal/sim"
 	"ssync/internal/workloads"
@@ -23,8 +21,11 @@ import (
 // far beyond any Table 2 benchmark).
 const maxRequestBytes = 8 << 20
 
-// compileRequest describes one compilation over the wire. Exactly one of
-// Benchmark and QASM selects the circuit.
+// compileRequest describes one compilation over the /v1 wire. Exactly one
+// of Benchmark and QASM selects the circuit. /v1 is a frozen schema kept
+// as a thin adapter over the /v2 implementation: it accepts only the
+// closed ssync/murali/dai compiler set and never exposes v2-only response
+// fields.
 type compileRequest struct {
 	// Label is echoed back unchanged; useful for correlating batch entries.
 	Label string `json:"label,omitempty"`
@@ -48,7 +49,20 @@ type compileRequest struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
-// compileResponse is one compilation outcome.
+// v2 lifts the v1 request into the open /v2 schema. The compiler set is
+// validated by the caller first — v1 rejects names outside its closed
+// enum before delegating.
+func (r compileRequest) v2() compileRequestV2 {
+	return compileRequestV2{
+		Label: r.Label, Benchmark: r.Benchmark, QASM: r.QASM,
+		Topology: r.Topology, Capacity: r.Capacity,
+		Compiler: r.Compiler, Mapping: r.Mapping,
+		Portfolio: r.Portfolio, TimeoutMs: r.TimeoutMs,
+	}
+}
+
+// compileResponse is one /v1 compilation outcome (and the embedded core
+// of the /v2 response).
 type compileResponse struct {
 	Label         string  `json:"label,omitempty"`
 	Compiler      string  `json:"compiler,omitempty"`
@@ -90,18 +104,18 @@ type statsResponse struct {
 	Workers        int     `json:"workers"`
 }
 
-// server is the ssyncd HTTP API over one shared engine.
+// server is the ssyncd HTTP API over one shared engine. Compile
+// concurrency is bounded by the engine itself (engine.Options.Workers):
+// every actual compilation holds one engine slot, so -workers caps
+// machine load no matter how many requests arrive at once, while cache
+// hits and coalesced requests pass without consuming a slot.
 type server struct {
 	eng     *engine.Engine
 	workers int
 	timeout time.Duration
 	start   time.Time
-	// tokens bounds compile concurrency server-wide: every in-flight job
-	// from every request holds one token, so -workers caps machine load
-	// no matter how many requests arrive at once.
-	tokens chan struct{}
-	// metrics caches the deterministic scoring simulation per job key, so
-	// cache-hit requests skip simulation as well as compilation.
+	// metrics caches the deterministic scoring simulation per request key,
+	// so cache-hit requests skip simulation as well as compilation.
 	metrics  *engine.Cache[sim.Metrics]
 	requests atomic.Uint64
 }
@@ -112,7 +126,6 @@ func newServer(eng *engine.Engine, workers int, timeout time.Duration) *server {
 	}
 	return &server{
 		eng: eng, workers: workers, timeout: timeout, start: time.Now(),
-		tokens:  make(chan struct{}, workers),
 		metrics: engine.NewCache[sim.Metrics](engine.DefaultCacheSize),
 	}
 }
@@ -122,9 +135,16 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v2/compile", s.handleCompileV2)
+	mux.HandleFunc("/v2/batch", s.handleBatchV2)
+	mux.HandleFunc("/v2/compilers", s.handleCompilersV2)
+	mux.HandleFunc("/v2/stats", s.handleStatsV2)
 	return mux
 }
 
+// handleCompile serves POST /v1/compile as a thin adapter: it enforces
+// the frozen v1 compiler enum, lifts the request into the v2 schema, and
+// strips the response back to v1 fields.
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
@@ -135,31 +155,37 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
 	}
-	if req.Portfolio {
-		resp, status, err := s.racePortfolio(r, req)
-		if err != nil {
-			httpError(w, status, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	job, err := s.buildJob(req)
-	if err != nil {
+	if err := validateV1Compiler(req.Compiler); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// A single compile goes through a one-job pool so it holds a
-	// server-wide token like every batch job does.
-	pool := engine.Pool{Engine: s.eng, Workers: 1, Timeout: s.timeout, Tokens: s.tokens}
-	res := pool.Run(r.Context(), []engine.Job{job})[0]
-	if res.Err != nil {
-		httpError(w, compileErrorStatus(res.Err), res.Err.Error())
+	resp, status, err := s.compileOne(r.Context(), req.v2())
+	if err != nil {
+		httpError(w, status, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.render(job, res))
+	if req.Portfolio {
+		// The frozen v1 schema predates the open registry: its portfolio
+		// responses always reported "ssync" even though entrants differ,
+		// and clients may parse the field as the closed enum. The winning
+		// entrant is still named in the winner field.
+		resp.Compiler = string(engine.SSync)
+	}
+	writeJSON(w, http.StatusOK, resp.compileResponse)
 }
 
+// validateV1Compiler enforces the closed /v1 compiler set; /v2 accepts
+// any registered name instead.
+func validateV1Compiler(name string) error {
+	switch name {
+	case "", engine.CompilerSSync, engine.CompilerMurali, engine.CompilerDai:
+		return nil
+	}
+	return fmt.Errorf("unknown compiler %q (want ssync, murali or dai)", name)
+}
+
+// handleBatch serves POST /v1/batch as a thin adapter over the v2 batch
+// core, with the frozen v1 compiler enum applied per entry.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
@@ -170,62 +196,23 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
 	}
-	if len(req.Jobs) == 0 {
-		httpError(w, http.StatusBadRequest, "batch needs a non-empty jobs array")
-		return
-	}
-	if len(req.Jobs) > maxBatchJobs {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("batch of %d entries exceeds the service limit of %d", len(req.Jobs), maxBatchJobs))
-		return
-	}
-	sizeBudget := 0
-	for _, cr := range req.Jobs {
-		if n, ok := benchmarkSize(cr.Benchmark); ok && n > 0 {
-			// Clamp before summing: oversized entries are rejected
-			// individually anyway, and the clamp keeps a handful of huge
-			// declared sizes from overflowing the budget accumulator.
-			if n > maxBenchmarkSize {
-				n = maxBenchmarkSize
-			}
-			sizeBudget += n
-		}
-	}
-	if sizeBudget > maxBatchSizeBudget {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("aggregate benchmark size %d exceeds the service limit of %d", sizeBudget, maxBatchSizeBudget))
-		return
-	}
-
-	// Malformed entries fail individually without sinking the batch; the
-	// well-formed remainder is fanned across the pool.
-	resp := batchResponse{Results: make([]compileResponse, len(req.Jobs))}
-	var jobs []engine.Job
-	var jobIdx []int
+	entries := make([]compileRequestV2, len(req.Jobs))
+	invalid := make([]string, len(req.Jobs))
 	for i, cr := range req.Jobs {
-		if cr.Portfolio {
-			resp.Results[i] = compileResponse{Label: cr.Label, Error: "portfolio is single-compile only; POST /v1/compile"}
-			continue
+		entries[i] = cr.v2()
+		if err := validateV1Compiler(cr.Compiler); err != nil {
+			invalid[i] = err.Error()
 		}
-		job, err := s.buildJob(cr)
-		if err != nil {
-			resp.Results[i] = compileResponse{Label: cr.Label, Error: err.Error()}
-			continue
-		}
-		jobs = append(jobs, job)
-		jobIdx = append(jobIdx, i)
 	}
-	pool := engine.Pool{Engine: s.eng, Workers: s.workers, Timeout: s.timeout, Tokens: s.tokens}
-	for k, res := range pool.Run(r.Context(), jobs) {
-		i := jobIdx[k]
-		if res.Err != nil {
-			resp.Results[i] = compileResponse{Label: res.Label, Error: res.Err.Error()}
-			continue
-		}
-		resp.Results[i] = s.render(jobs[k], res)
+	results, status, err := s.compileBatch(r.Context(), entries, invalid)
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
 	}
-	for _, cr := range resp.Results {
-		if cr.Error != "" {
+	resp := batchResponse{Results: make([]compileResponse, len(results))}
+	for i, r2 := range results {
+		resp.Results[i] = r2.compileResponse
+		if r2.Error != "" {
 			resp.Errors++
 		}
 	}
@@ -238,8 +225,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.statsV1())
+}
+
+func (s *server) statsV1() statsResponse {
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	return statsResponse{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.requests.Load(),
 		JobsCompiled:   st.Compiled,
@@ -251,54 +242,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheCapacity:  st.Cache.Capacity,
 		CacheHitRate:   st.Cache.HitRate(),
 		Workers:        s.workers,
-	})
+	}
 }
 
-// buildJob turns a wire request into an engine job.
-func (s *server) buildJob(req compileRequest) (engine.Job, error) {
-	var job engine.Job
-	c, err := buildCircuit(req)
-	if err != nil {
-		return job, err
-	}
-	topo, err := buildTopology(req)
-	if err != nil {
-		return job, err
-	}
-	comp := engine.Compiler(req.Compiler)
-	switch comp {
-	case "":
-		comp = engine.SSync
-	case engine.SSync, engine.Murali, engine.Dai:
-	default:
-		return job, fmt.Errorf("unknown compiler %q (want ssync, murali or dai)", req.Compiler)
-	}
-	var cfg *core.Config
-	if req.Mapping != "" {
-		if comp != engine.SSync {
-			return job, fmt.Errorf("mapping override applies to the ssync compiler only")
-		}
-		strat, err := mapping.ParseStrategy(req.Mapping)
-		if err != nil {
-			return job, err
-		}
-		c := core.DefaultConfig()
-		c.Mapping.Strategy = strat
-		cfg = &c
-	}
-	return engine.Job{
-		Label: req.Label, Circuit: c, Topo: topo,
-		Compiler: comp, Config: cfg, Timeout: s.jobTimeout(req),
-	}, nil
-}
-
-// jobTimeout resolves the per-job compile bound: the request override
+// jobTimeout resolves the per-request compile bound: the request override
 // when given, the server default otherwise. Clients may only lower the
 // bound — a raised override would let a few requests pin the worker
 // tokens past the operator's -timeout.
-func (s *server) jobTimeout(req compileRequest) time.Duration {
-	if req.TimeoutMs > 0 {
-		t := time.Duration(req.TimeoutMs) * time.Millisecond
+func (s *server) jobTimeout(timeoutMs int) time.Duration {
+	if timeoutMs > 0 {
+		t := time.Duration(timeoutMs) * time.Millisecond
 		if s.timeout > 0 && t > s.timeout {
 			return s.timeout
 		}
@@ -317,7 +270,7 @@ const (
 	// on the request goroutine, so the cap must keep a single build to
 	// milliseconds; the largest Table 2 benchmark is 66.
 	maxBenchmarkSize = 256
-	// maxBatchJobs bounds entries per /v1/batch request.
+	// maxBatchJobs bounds entries per batch request.
 	maxBatchJobs = 256
 	// maxBatchSizeBudget bounds the summed benchmark sizes of a batch, so
 	// many individually-legal entries cannot multiply into unbounded
@@ -330,7 +283,7 @@ const (
 // differently.
 var benchmarkSize = workloads.ParseSize
 
-func buildCircuit(req compileRequest) (*circuit.Circuit, error) {
+func buildCircuit(req compileRequestV2) (*circuit.Circuit, error) {
 	switch {
 	case req.Benchmark != "" && req.QASM != "":
 		return nil, fmt.Errorf("pass either benchmark or qasm, not both")
@@ -345,7 +298,7 @@ func buildCircuit(req compileRequest) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("one of benchmark or qasm is required")
 }
 
-func buildTopology(req compileRequest) (*device.Topology, error) {
+func buildTopology(req compileRequestV2) (*device.Topology, error) {
 	if req.Topology == "" {
 		return nil, fmt.Errorf("topology is required")
 	}
@@ -359,37 +312,41 @@ func buildTopology(req compileRequest) (*device.Topology, error) {
 // racePortfolio runs the default portfolio for the request's circuit.
 // The int is the HTTP status to use when err is non-nil: 400 for request
 // problems, 422 for well-formed requests whose variants all fail.
-func (s *server) racePortfolio(r *http.Request, req compileRequest) (compileResponse, int, error) {
-	if req.Compiler != "" && req.Compiler != string(engine.SSync) {
-		return compileResponse{}, http.StatusBadRequest, fmt.Errorf("portfolio races ssync variants; drop the compiler field")
+func (s *server) racePortfolio(ctx context.Context, req compileRequestV2) (compileResponseV2, int, error) {
+	if req.Compiler != "" && req.Compiler != engine.CompilerSSync {
+		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio races ssync variants; drop the compiler field")
 	}
 	if req.Mapping != "" {
-		return compileResponse{}, http.StatusBadRequest, fmt.Errorf("portfolio already races every mapping strategy; drop the mapping field")
+		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio already races every mapping strategy; drop the mapping field")
+	}
+	if req.AnnealSeed != nil {
+		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio already includes the annealed entrant under its default seed; drop the anneal_seed field")
 	}
 	c, err := buildCircuit(req)
 	if err != nil {
-		return compileResponse{}, http.StatusBadRequest, err
+		return compileResponseV2{}, http.StatusBadRequest, err
 	}
 	topo, err := buildTopology(req)
 	if err != nil {
-		return compileResponse{}, http.StatusBadRequest, err
+		return compileResponseV2{}, http.StatusBadRequest, err
 	}
-	out, err := s.eng.Race(r.Context(), c, topo, nil,
-		engine.RaceOptions{Workers: s.workers, Timeout: s.jobTimeout(req), Tokens: s.tokens, Metrics: s.metrics})
+	out, err := s.eng.Race(ctx, c, topo, nil,
+		engine.RaceOptions{Workers: s.workers, Timeout: s.jobTimeout(req.TimeoutMs), Metrics: s.metrics})
 	if err != nil {
-		return compileResponse{}, compileErrorStatus(err), err
+		return compileResponseV2{}, compileErrorStatus(err), err
 	}
-	resp := renderWithMetrics(engine.Job{Label: req.Label, Circuit: c, Topo: topo, Compiler: engine.SSync},
-		out.Winner, out.Metrics[out.WinnerIndex])
+	winnerReq := engine.Request{Label: req.Label, Circuit: c, Topo: topo}
+	resp := renderWithMetrics(winnerReq, out.Winner, out.Metrics[out.WinnerIndex])
 	resp.Label = req.Label
 	resp.Winner = out.Winner.Label
 	return resp, http.StatusOK, nil
 }
 
-// render scores a compiled job and shapes the wire response. The scoring
-// simulation is deterministic per job key, so it is cached alongside the
-// compile results — a cache-hit request does no simulation either.
-func (s *server) render(job engine.Job, res engine.JobResult) compileResponse {
+// render scores a compiled request and shapes the wire response. The
+// scoring simulation is deterministic per request key, so it is cached
+// alongside the compile results — a cache-hit request does no simulation
+// either.
+func (s *server) render(req engine.Request, res engine.Response) compileResponseV2 {
 	// A zero key means the engine ran cacheless (-cache < 0) and computed
 	// no content address; don't let unrelated jobs share one metrics slot.
 	keyed := res.Key != engine.Key{}
@@ -398,29 +355,33 @@ func (s *server) render(job engine.Job, res engine.JobResult) compileResponse {
 		m, ok = s.metrics.Get(res.Key)
 	}
 	if !ok {
-		m = sim.Run(res.Res.Schedule, job.Topo, sim.DefaultOptions())
+		m = sim.Run(res.Result.Schedule, req.Topo, sim.DefaultOptions())
 		if keyed {
 			s.metrics.Put(res.Key, m)
 		}
 	}
-	return renderWithMetrics(job, res, m)
+	return renderWithMetrics(req, res, m)
 }
 
-// renderWithMetrics shapes the wire response from an already-scored job.
-func renderWithMetrics(job engine.Job, res engine.JobResult, m sim.Metrics) compileResponse {
-	return compileResponse{
-		Label:         res.Label,
-		Compiler:      string(job.Compiler),
-		Topology:      job.Topo.Name,
-		Qubits:        job.Circuit.NumQubits,
-		TwoQubitGates: job.Circuit.TwoQubitCount(),
-		Shuttles:      res.Res.Counts.Shuttles,
-		Swaps:         res.Res.Counts.Swaps,
-		SuccessRate:   m.SuccessRate,
-		ExecTimeUs:    m.ExecutionTime,
-		CompileMs:     float64(res.Res.CompileTime) / float64(time.Millisecond),
-		CacheHit:      res.CacheHit,
-		Key:           res.Key.String(),
+// renderWithMetrics shapes the wire response from an already-scored
+// compilation.
+func renderWithMetrics(req engine.Request, res engine.Response, m sim.Metrics) compileResponseV2 {
+	return compileResponseV2{
+		compileResponse: compileResponse{
+			Label:         res.Label,
+			Compiler:      res.Compiler,
+			Topology:      req.Topo.Name,
+			Qubits:        req.Circuit.NumQubits,
+			TwoQubitGates: req.Circuit.TwoQubitCount(),
+			Shuttles:      res.Result.Counts.Shuttles,
+			Swaps:         res.Result.Counts.Swaps,
+			SuccessRate:   m.SuccessRate,
+			ExecTimeUs:    m.ExecutionTime,
+			CompileMs:     float64(res.Result.CompileTime) / float64(time.Millisecond),
+			CacheHit:      res.CacheHit,
+			Key:           res.Key.String(),
+		},
+		Coalesced: res.Coalesced,
 	}
 }
 

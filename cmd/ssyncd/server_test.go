@@ -14,7 +14,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := newServer(engine.New(engine.Options{}), 4, time.Minute)
+	srv := newServer(engine.New(engine.Options{Workers: 4}), 4, time.Minute)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return ts

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"ssync/internal/core"
+	"ssync/internal/engine"
+	"ssync/internal/mapping"
+)
+
+// The /v2 surface is the primary request schema over the engine's
+// CompileRequest API: the compiler field addresses the open registry
+// (GET /v2/compilers lists it), anneal_seed parameterises the
+// "ssync-annealed" entrant deterministically, and responses report
+// single-flight coalescing. /v1 adapts onto the same implementation.
+
+// compileRequestV2 describes one compilation over the /v2 wire. Exactly
+// one of Benchmark and QASM selects the circuit.
+type compileRequestV2 struct {
+	// Label is echoed back unchanged; useful for correlating batch entries.
+	Label string `json:"label,omitempty"`
+	// Benchmark names a Table 2 workload, e.g. "QFT_24".
+	Benchmark string `json:"benchmark,omitempty"`
+	// QASM is an inline OpenQASM 2.0 program.
+	QASM string `json:"qasm,omitempty"`
+	// Topology names a device ("L-6", "G-2x3", "S-4", ...).
+	Topology string `json:"topology"`
+	// Capacity is the per-trap slot count; 0 selects the paper's choice.
+	Capacity int `json:"capacity,omitempty"`
+	// Compiler names any registered compiler (see GET /v2/compilers);
+	// "" selects "ssync".
+	Compiler string `json:"compiler,omitempty"`
+	// Mapping overrides the initial-mapping strategy ("gathering",
+	// "even-divided", "sta") for the ssync compiler family.
+	Mapping string `json:"mapping,omitempty"`
+	// AnnealSeed overrides the deterministic seed of the "ssync-annealed"
+	// compiler; nil keeps the default. The seed is part of the cache key.
+	AnnealSeed *int64 `json:"anneal_seed,omitempty"`
+	// Portfolio races the default portfolio (including the annealed
+	// entrant) and returns the best result. Single-compile only.
+	Portfolio bool `json:"portfolio,omitempty"`
+	// TimeoutMs bounds this request's compile time; 0 uses the server
+	// default, and overrides may only lower it.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// compileResponseV2 is one /v2 compilation outcome: the v1 fields plus
+// coalescing visibility.
+type compileResponseV2 struct {
+	compileResponse
+	// Coalesced reports that this request attached to an identical
+	// in-flight compilation instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+type batchRequestV2 struct {
+	Requests []compileRequestV2 `json:"requests"`
+}
+
+type batchResponseV2 struct {
+	Results []compileResponseV2 `json:"results"`
+	// Errors counts entries that failed; the per-entry Error fields say why.
+	Errors int `json:"errors"`
+}
+
+type compilersResponseV2 struct {
+	Compilers []string `json:"compilers"`
+}
+
+type statsResponseV2 struct {
+	statsResponse
+	// Coalesced counts requests served by attaching to an in-flight
+	// identical compilation (single-flight joins).
+	Coalesced uint64 `json:"coalesced"`
+	// Compilers lists the registered compiler names.
+	Compilers []string `json:"compilers"`
+}
+
+// buildRequest turns a /v2 wire request into an engine request.
+func (s *server) buildRequest(req compileRequestV2) (engine.Request, error) {
+	var out engine.Request
+	c, err := buildCircuit(req)
+	if err != nil {
+		return out, err
+	}
+	topo, err := buildTopology(req)
+	if err != nil {
+		return out, err
+	}
+	name := req.Compiler
+	if name == "" {
+		name = engine.CompilerSSync
+	}
+	if !engine.Registered(name) {
+		return out, &engine.UnknownCompilerError{Name: name, Known: engine.Compilers()}
+	}
+	var cfg *core.Config
+	if req.Mapping != "" {
+		if name == engine.CompilerMurali || name == engine.CompilerDai {
+			return out, fmt.Errorf("mapping override applies to the ssync compiler only")
+		}
+		strat, err := mapping.ParseStrategy(req.Mapping)
+		if err != nil {
+			return out, err
+		}
+		c := core.DefaultConfig()
+		c.Mapping.Strategy = strat
+		cfg = &c
+	}
+	var ann *mapping.AnnealConfig
+	if req.AnnealSeed != nil {
+		switch name {
+		case engine.CompilerMurali, engine.CompilerDai, engine.CompilerSSync:
+			return out, fmt.Errorf("anneal_seed applies to the %q compiler only", engine.CompilerSSyncAnnealed)
+		}
+		a := mapping.DefaultAnnealConfig()
+		a.Seed = *req.AnnealSeed
+		ann = &a
+	}
+	return engine.Request{
+		Label: req.Label, Circuit: c, Topo: topo,
+		Compiler: name, Config: cfg, Anneal: ann,
+		Timeout: s.jobTimeout(req.TimeoutMs),
+	}, nil
+}
+
+// compileOne handles one wire request end to end (portfolio or single
+// compile). The int is the HTTP status to use when err is non-nil.
+func (s *server) compileOne(ctx context.Context, req compileRequestV2) (compileResponseV2, int, error) {
+	if req.Portfolio {
+		return s.racePortfolio(ctx, req)
+	}
+	er, err := s.buildRequest(req)
+	if err != nil {
+		return compileResponseV2{}, http.StatusBadRequest, err
+	}
+	// Compile concurrency is bounded inside the engine (Options.Workers),
+	// so a single compile needs no pool plumbing.
+	res := s.eng.Do(ctx, er)
+	if res.Err != nil {
+		return compileResponseV2{}, compileErrorStatus(res.Err), res.Err
+	}
+	return s.render(er, res), http.StatusOK, nil
+}
+
+// compileBatch handles a batch of wire requests. invalid, when non-nil,
+// carries per-entry validation errors the caller (the /v1 adapter)
+// established up front; those entries fail individually without reaching
+// the engine. The int is the HTTP status when err is non-nil.
+func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, invalid []string) ([]compileResponseV2, int, error) {
+	if len(entries) == 0 {
+		// Schema-neutral wording: the array is "jobs" on /v1 and
+		// "requests" on /v2.
+		return nil, http.StatusBadRequest, fmt.Errorf("batch needs at least one entry")
+	}
+	if len(entries) > maxBatchJobs {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("batch of %d entries exceeds the service limit of %d", len(entries), maxBatchJobs)
+	}
+	sizeBudget := 0
+	for _, cr := range entries {
+		if n, ok := benchmarkSize(cr.Benchmark); ok && n > 0 {
+			// Clamp before summing: oversized entries are rejected
+			// individually anyway, and the clamp keeps a handful of huge
+			// declared sizes from overflowing the budget accumulator.
+			if n > maxBenchmarkSize {
+				n = maxBenchmarkSize
+			}
+			sizeBudget += n
+		}
+	}
+	if sizeBudget > maxBatchSizeBudget {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("aggregate benchmark size %d exceeds the service limit of %d", sizeBudget, maxBatchSizeBudget)
+	}
+
+	// Malformed entries fail individually without sinking the batch; the
+	// well-formed remainder is fanned across the pool.
+	results := make([]compileResponseV2, len(entries))
+	var reqs []engine.Request
+	var reqIdx []int
+	for i, cr := range entries {
+		if invalid != nil && invalid[i] != "" {
+			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: invalid[i]}}
+			continue
+		}
+		if cr.Portfolio {
+			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: "portfolio is single-compile only; use the compile endpoint"}}
+			continue
+		}
+		er, err := s.buildRequest(cr)
+		if err != nil {
+			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: err.Error()}}
+			continue
+		}
+		reqs = append(reqs, er)
+		reqIdx = append(reqIdx, i)
+	}
+	pool := engine.Pool{Engine: s.eng, Workers: s.workers, Timeout: s.timeout}
+	for k, res := range pool.RunRequests(ctx, reqs) {
+		i := reqIdx[k]
+		if res.Err != nil {
+			results[i] = compileResponseV2{compileResponse: compileResponse{Label: res.Label, Error: res.Err.Error()}}
+			continue
+		}
+		results[i] = s.render(reqs[k], res)
+	}
+	return results, http.StatusOK, nil
+}
+
+// handleCompileV2 serves POST /v2/compile.
+func (s *server) handleCompileV2(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req compileRequestV2
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	resp, status, err := s.compileOne(r.Context(), req)
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatchV2 serves POST /v2/batch.
+func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchRequestV2
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	results, status, err := s.compileBatch(r.Context(), req.Requests, nil)
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	resp := batchResponseV2{Results: results}
+	for _, r2 := range results {
+		if r2.Error != "" {
+			resp.Errors++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompilersV2 serves GET /v2/compilers: the registered compiler
+// names a request may address.
+func (s *server) handleCompilersV2(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, compilersResponseV2{Compilers: engine.Compilers()})
+}
+
+// handleStatsV2 serves GET /v2/stats: the v1 counters plus coalescing and
+// the registry listing.
+func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponseV2{
+		statsResponse: s.statsV1(),
+		Coalesced:     st.Coalesced,
+		Compilers:     engine.Compilers(),
+	})
+}

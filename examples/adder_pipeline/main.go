@@ -1,12 +1,14 @@
 // Adder pipeline: the paper's flagship result (Sec. 5.1) in miniature —
-// compile the Cuccaro ripple-carry adder with all three compilers on the
-// same device and compare shuttles, SWAPs and success rate. On Adder_32
-// the paper reports up to a 90.2% shuttle reduction and a 2.3x success
-// improvement for S-SYNC; this example reproduces the comparison on any
-// adder width.
+// compile the Cuccaro ripple-carry adder with every registered compiler
+// on the same device through the unified CompileRequest API and compare
+// shuttles, SWAPs and success rate. On Adder_32 the paper reports up to
+// a 90.2% shuttle reduction and a 2.3x success improvement for S-SYNC;
+// this example reproduces the comparison on any adder width, with the
+// simulated-annealing mapper riding along as a fourth entrant.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,23 +37,25 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 3, ' ', 0)
 	fmt.Fprintln(w, "compiler\tshuttles\tswaps\texec (µs)\tsuccess\tcompile")
-	type entry struct {
-		name    string
-		compile func(*ssync.Circuit, *ssync.Topology) (*ssync.CompileResult, error)
+	entries := []struct {
+		name     string
+		compiler string
+	}{
+		{"Murali et al.", ssync.MuraliCompilerName},
+		{"Dai et al.", ssync.DaiCompilerName},
+		{"S-SYNC", ssync.SSyncCompilerName},
+		{"S-SYNC (annealed)", ssync.SSyncAnnealedCompilerName},
 	}
-	entries := []entry{
-		{"Murali et al.", ssync.CompileMurali},
-		{"Dai et al.", ssync.CompileDai},
-		{"S-SYNC", func(c *ssync.Circuit, t *ssync.Topology) (*ssync.CompileResult, error) {
-			return ssync.Compile(ssync.DefaultCompileConfig(), c, t)
-		}},
-	}
+	ctx := context.Background()
 	var base, ours float64
 	for _, e := range entries {
-		res, err := e.compile(c, topo)
-		if err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+		resp := ssync.Do(ctx, ssync.CompileRequest{
+			Label: e.name, Circuit: c, Topo: topo, Compiler: e.compiler,
+		})
+		if resp.Err != nil {
+			log.Fatalf("%s: %v", e.name, resp.Err)
 		}
+		res := resp.Result
 		m := ssync.Simulate(res.Schedule, topo, ssync.DefaultSimOptions())
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.3e\t%.3e\t%s\n",
 			e.name, res.Counts.Shuttles, res.Counts.Swaps,

@@ -185,7 +185,20 @@ func (c *Circuit) DecomposeToBasis() *Circuit {
 	out := NewCircuit(c.NumQubits)
 	out.Name = c.Name
 	for _, g := range c.Gates {
+		start := len(out.Gates)
 		decomposeInto(out, g)
+		if g.Cond != nil {
+			// A classically-controlled gate decomposes into the same
+			// sequence with every piece under the same condition: the
+			// classical register cannot change mid-sequence, so
+			// if(c==n){ABC} ≡ if(c==n)A; if(c==n)B; if(c==n)C. Each piece
+			// gets its own copy so the output never aliases the input's
+			// condition (matching Remap's discipline).
+			for i := start; i < len(out.Gates); i++ {
+				cond := *g.Cond
+				out.Gates[i].Cond = &cond
+			}
+		}
 	}
 	return out
 }

@@ -21,6 +21,10 @@ const (
 
 // roleOn returns g's role on wire q.
 func roleOn(g Gate, q int) wireRole {
+	if g.Cond != nil {
+		// Classical control makes the action data-dependent; never commute.
+		return roleGeneric
+	}
 	switch g.Name {
 	case "z", "s", "sdg", "t", "tdg", "rz", "u1", "p", "id":
 		return roleZ

@@ -9,13 +9,31 @@ import (
 	"strings"
 )
 
+// Condition is the classical control of an OpenQASM 2.0 `if` statement:
+// the gate executes only when the named classical register equals Value.
+// Width is the register's declared bit size, kept so the condition
+// round-trips through the QASM writer.
+type Condition struct {
+	Creg  string
+	Width int
+	Value int
+}
+
 // Gate is a single quantum instruction. Name is the canonical lowercase
 // OpenQASM-style mnemonic ("h", "rz", "cx", "swap", "measure", "barrier", ...).
 // Qubits are logical qubit indices; Params are rotation angles in radians.
+//
+// Cond, when non-nil, marks the gate classically controlled
+// (`if (creg==n) gate;`). The scheduler routes conditioned gates like
+// unconditioned ones — transport must be arranged for the worst case in
+// which the condition fires — but the peephole optimiser and the
+// commutation analysis treat them as opaque, and state-vector
+// verification rejects them (classical feedback has no unitary).
 type Gate struct {
 	Name   string
 	Qubits []int
 	Params []float64
+	Cond   *Condition
 }
 
 // Known gate arities, keyed by canonical name. Gates absent from this map are
@@ -67,8 +85,28 @@ func (g Gate) IsSingleQubit() bool {
 	return len(g.Qubits) == 1 && g.Name != "barrier"
 }
 
-// Validate checks arity and parameter counts against the known-gate tables.
+// Validate checks arity and parameter counts against the known-gate
+// tables, plus classical-control well-formedness when Cond is set.
 func (g Gate) Validate(numQubits int) error {
+	if c := g.Cond; c != nil {
+		// Mirror the QASM parser's rules exactly, so every condition that
+		// Append accepts also survives the Write/Parse round trip.
+		if g.Name == "barrier" {
+			return fmt.Errorf("circuit: a barrier cannot be classically controlled")
+		}
+		if c.Creg == "" {
+			return fmt.Errorf("circuit: conditioned gate %q names no classical register", g.Name)
+		}
+		if c.Width <= 0 {
+			return fmt.Errorf("circuit: condition on %q has non-positive register width %d", c.Creg, c.Width)
+		}
+		if c.Value < 0 {
+			return fmt.Errorf("circuit: condition %s==%d compares against a negative value", c.Creg, c.Value)
+		}
+		if c.Width < 63 && c.Value >= 1<<uint(c.Width) {
+			return fmt.Errorf("circuit: condition value %d does not fit creg %s[%d]", c.Value, c.Creg, c.Width)
+		}
+	}
 	if g.Name == "barrier" {
 		for _, q := range g.Qubits {
 			if q < 0 || q >= numQubits {
@@ -103,6 +141,9 @@ func (g Gate) Validate(numQubits int) error {
 // String renders the gate in QASM-like syntax, e.g. "rz(1.5708) q[3]".
 func (g Gate) String() string {
 	var b strings.Builder
+	if g.Cond != nil {
+		fmt.Fprintf(&b, "if(%s==%d) ", g.Cond.Creg, g.Cond.Value)
+	}
 	b.WriteString(g.Name)
 	if len(g.Params) > 0 {
 		b.WriteByte('(')
@@ -132,7 +173,12 @@ func (g Gate) Remap(perm []int) Gate {
 	for i, q := range g.Qubits {
 		qs[i] = perm[q]
 	}
-	return Gate{Name: g.Name, Qubits: qs, Params: append([]float64(nil), g.Params...)}
+	out := Gate{Name: g.Name, Qubits: qs, Params: append([]float64(nil), g.Params...)}
+	if g.Cond != nil {
+		cond := *g.Cond
+		out.Cond = &cond
+	}
+	return out
 }
 
 // NormalizeAngle folds an angle into (-2π, 2π) to keep QASM output tidy.

@@ -68,7 +68,10 @@ func optimizePass(gates []Gate, numQubits int) ([]Gate, bool) {
 	}
 
 	for i, g := range gates {
-		if g.Name == "barrier" || g.Name == "measure" || g.Name == "reset" {
+		// Classically-controlled gates are opaque: whether they execute
+		// depends on run-time measurement outcomes, so they can neither
+		// cancel, merge, nor be eliminated as identities.
+		if g.Name == "barrier" || g.Name == "measure" || g.Name == "reset" || g.Cond != nil {
 			for _, q := range g.Qubits {
 				lastOn[q] = i
 			}
@@ -98,7 +101,7 @@ func optimizePass(gates []Gate, numQubits int) ([]Gate, bool) {
 		matched := false
 		if samePrev && prev >= 0 && keep[prev] {
 			pg := gates[prev]
-			if sameWires(pg.Qubits, g.Qubits) {
+			if pg.Cond == nil && sameWires(pg.Qubits, g.Qubits) {
 				switch {
 				case selfInverse[g.Name] && pg.Name == g.Name:
 					keep[prev], keep[i] = false, false

@@ -123,3 +123,76 @@ func TestOptimizeRealisticShrinks(t *testing.T) {
 		t.Errorf("no shrink: %d -> %d gates", len(d.Gates), len(o.Gates))
 	}
 }
+
+func TestOptimizeTreatsConditionedGatesAsOpaque(t *testing.T) {
+	cond := &Condition{Creg: "c", Width: 1, Value: 1}
+	// h · if(c==1)h · h: nothing may cancel — whether the middle gate
+	// fires is a run-time question.
+	c := NewCircuit(1)
+	c.H(0)
+	if err := c.Append(Gate{Name: "h", Qubits: []int{0}, Cond: cond}); err != nil {
+		t.Fatal(err)
+	}
+	c.H(0)
+	if o := Optimize(c); len(o.Gates) != 3 {
+		t.Errorf("optimizer crossed a classical condition: %v", o.Gates)
+	}
+	// A conditioned identity must survive too.
+	c2 := NewCircuit(1)
+	if err := c2.Append(Gate{Name: "id", Qubits: []int{0}, Cond: cond}); err != nil {
+		t.Fatal(err)
+	}
+	if o := Optimize(c2); len(o.Gates) != 1 {
+		t.Errorf("conditioned identity eliminated: %v", o.Gates)
+	}
+}
+
+func TestDecomposeToBasisPropagatesConditions(t *testing.T) {
+	cond := &Condition{Creg: "c", Width: 2, Value: 3}
+	c := NewCircuit(2)
+	if err := c.Append(Gate{Name: "cz", Qubits: []int{0, 1}, Cond: cond}); err != nil {
+		t.Fatal(err)
+	}
+	d := c.DecomposeToBasis()
+	if len(d.Gates) < 2 {
+		t.Fatalf("cz did not decompose: %v", d.Gates)
+	}
+	for i, g := range d.Gates {
+		if g.Cond == nil || *g.Cond != *cond {
+			t.Errorf("decomposed gate %d (%s) lost the condition", i, g.Name)
+		}
+	}
+}
+
+func TestValidateMirrorsParserConditionRules(t *testing.T) {
+	c := NewCircuit(1)
+	// Value outside the register's range can never fire; reject like the
+	// QASM parser does, so Write output always re-parses.
+	if err := c.Append(Gate{Name: "x", Qubits: []int{0},
+		Cond: &Condition{Creg: "d", Width: 1, Value: 3}}); err == nil {
+		t.Error("oversized condition value accepted")
+	}
+	if err := c.Append(Gate{Name: "barrier", Qubits: []int{0},
+		Cond: &Condition{Creg: "d", Width: 1, Value: 1}}); err == nil {
+		t.Error("conditioned barrier accepted")
+	}
+	if err := c.Append(Gate{Name: "x", Qubits: []int{0},
+		Cond: &Condition{Creg: "d", Width: 2, Value: 3}}); err != nil {
+		t.Errorf("in-range condition rejected: %v", err)
+	}
+}
+
+func TestDecomposeToBasisCopiesConditions(t *testing.T) {
+	cond := &Condition{Creg: "c", Width: 2, Value: 1}
+	c := NewCircuit(2)
+	if err := c.Append(Gate{Name: "cz", Qubits: []int{0, 1}, Cond: cond}); err != nil {
+		t.Fatal(err)
+	}
+	d := c.DecomposeToBasis()
+	cond.Value = 2 // mutate the input's condition after decomposing
+	for i, g := range d.Gates {
+		if g.Cond.Value != 1 {
+			t.Fatalf("decomposed gate %d aliases the input condition", i)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 // Package engine is the concurrent compilation layer on top of the
-// S-SYNC compiler stack: a worker-pool batch compiler (Pool), a
+// S-SYNC compiler stack: a request-oriented compilation API (Request →
+// Response via Engine.Do) dispatching through a pluggable compiler
+// registry (Register), a worker-pool batch compiler (Pool), a
 // content-addressed LRU result cache keyed by the canonical form of each
-// request (Key, Cache), and portfolio racing (Race) that runs several
-// strategies for one circuit concurrently and keeps the best schedule.
-// It exists so that services handling many compilation requests — the
-// experiment grids in internal/exp, cmd/ssyncd, or any embedding — can
-// saturate the machine and skip recompiling identical requests entirely.
+// request (Key, Cache), single-flight coalescing of identical in-flight
+// requests, and portfolio racing (Race) that runs several strategies for
+// one circuit concurrently and keeps the best schedule. It exists so
+// that services handling many compilation requests — the experiment
+// grids in internal/exp, cmd/ssyncd, or any embedding — can saturate the
+// machine and skip recompiling identical requests entirely.
 package engine
 
 import (
@@ -14,27 +17,87 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ssync/internal/baseline"
 	"ssync/internal/circuit"
 	"ssync/internal/core"
 	"ssync/internal/device"
+	"ssync/internal/mapping"
 )
 
-// Compiler names one of the three evaluated compilers.
+// Compiler names one of the built-in compilers.
+//
+// Deprecated: the compiler set is no longer a closed enum — compilers
+// are addressed by their registry name (a plain string; see Register).
+// The type and its constants remain as aliases for the built-in names.
 type Compiler string
 
 const (
 	// Murali is the Murali et al. (ISCA 2020) baseline.
-	Murali Compiler = "murali"
+	Murali Compiler = CompilerMurali
 	// Dai is the Dai et al. (IEEE TQE 2024) baseline.
-	Dai Compiler = "dai"
+	Dai Compiler = CompilerDai
 	// SSync is this repository's S-SYNC compiler. The zero Compiler value
 	// also selects it.
-	SSync Compiler = "ssync"
+	SSync Compiler = CompilerSSync
 )
 
-// Job is one compilation request: a circuit, a device, a compiler and —
-// for S-SYNC — an optional configuration.
+// Request is one compilation request: a circuit, a device, a registered
+// compiler name and optional per-compiler configuration. It is the single
+// input type of the compilation API — Engine.Do, Pool.RunRequests and
+// Engine.Race all consume it.
+type Request struct {
+	// Label is an optional caller tag carried through to the response.
+	Label string
+	// Circuit is the program to schedule. The engine never mutates it.
+	Circuit *circuit.Circuit
+	// Topo is the target device.
+	Topo *device.Topology
+	// Compiler names a registry entry ("murali", "dai", "ssync",
+	// "ssync-annealed", or anything added via Register). "" selects
+	// "ssync". Unknown names fail with *UnknownCompilerError.
+	Compiler string
+	// Config tunes the S-SYNC scheduler family; nil means
+	// core.DefaultConfig(). The baselines ignore it.
+	Config *core.Config
+	// Anneal tunes the simulated-annealing mapper of the "ssync-annealed"
+	// compiler; nil means mapping.DefaultAnnealConfig(), whose fixed Seed
+	// keeps the result — and the cache key — deterministic. Other built-in
+	// compilers ignore it.
+	Anneal *mapping.AnnealConfig
+	// Timeout bounds this request end to end inside Engine.Do — queueing
+	// for a worker slot, waiting on a coalesced identical in-flight
+	// compilation, and the compilation itself; 0 falls back to the pool's
+	// default (or no limit when executed directly).
+	Timeout time.Duration
+}
+
+// Response is one compilation outcome. Exactly one of Result and Err is
+// set. Result may be shared with the cache and other callers: treat it
+// as read-only.
+type Response struct {
+	// Label echoes Request.Label.
+	Label string
+	// Compiler is the resolved registry name that handled the request
+	// ("" in the request resolves to "ssync" here).
+	Compiler string
+	// Key is the request's content address (zero on cacheless engines,
+	// which skip content addressing).
+	Key Key
+	// Result is the compilation output.
+	Result *core.Result
+	// Err is the failure, if any.
+	Err error
+	// CacheHit reports that Result came from the finished-result cache.
+	CacheHit bool
+	// Coalesced reports that this request attached to an identical
+	// in-flight compilation instead of running its own.
+	Coalesced bool
+}
+
+// Job is one compilation request in the PR-1 shape.
+//
+// Deprecated: use Request, which addresses compilers by registry name
+// and carries the annealer configuration. Job remains as a thin
+// conversion layer so existing callers keep working.
 type Job struct {
 	// Label is an optional caller tag carried through to the result.
 	Label string
@@ -52,9 +115,24 @@ type Job struct {
 	Timeout time.Duration
 }
 
+// Request converts the legacy job to the request form.
+func (j Job) Request() Request {
+	return Request{
+		Label:    j.Label,
+		Circuit:  j.Circuit,
+		Topo:     j.Topo,
+		Compiler: string(j.Compiler),
+		Config:   j.Config,
+		Timeout:  j.Timeout,
+	}
+}
+
 // JobResult pairs a Job with its outcome. Exactly one of Res and Err is
 // set. Res may be shared with the cache and other callers: treat it as
 // read-only.
+//
+// Deprecated: use Response (returned by Engine.Do and Pool.RunRequests),
+// which additionally reports single-flight coalescing.
 type JobResult struct {
 	Label    string
 	Key      Key
@@ -63,12 +141,20 @@ type JobResult struct {
 	CacheHit bool
 }
 
+// jobResult shapes a Response into the legacy result form.
+func jobResult(r Response) JobResult {
+	return JobResult{Label: r.Label, Key: r.Key, Res: r.Result, Err: r.Err, CacheHit: r.CacheHit}
+}
+
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
 	// Compiled counts compilations actually executed (cache misses that
 	// ran to completion, successfully or not).
 	Compiled uint64
-	// Errors counts jobs that finished with a non-nil error.
+	// Coalesced counts requests served by attaching to an identical
+	// in-flight compilation (single-flight joins).
+	Coalesced uint64
+	// Errors counts requests that finished with a non-nil error.
 	Errors uint64
 	Cache  CacheStats
 }
@@ -76,20 +162,34 @@ type Stats struct {
 // Options configures a new Engine.
 type Options struct {
 	// CacheSize bounds the result cache: 0 selects DefaultCacheSize,
-	// negative disables caching entirely.
+	// negative disables caching entirely. A cacheless engine also skips
+	// content addressing, and with it single-flight coalescing.
 	CacheSize int
+	// Workers, when positive, bounds concurrent *compilations*
+	// engine-wide. Unlike a limiter wrapped around Do (e.g. Pool.Tokens),
+	// this admits cache hits and coalesced waiters without a slot — they
+	// do no compilation work — so a thundering herd of identical requests
+	// cannot starve unrelated traffic out of the worker budget. <= 0
+	// means unbounded.
+	Workers int
 }
 
 // DefaultCacheSize is the result-cache bound used when Options.CacheSize
 // is zero.
 const DefaultCacheSize = 512
 
-// Engine compiles jobs with content-addressed result reuse. It is safe
+// Engine compiles requests with content-addressed result reuse and
+// single-flight coalescing of identical in-flight requests. It is safe
 // for concurrent use by multiple goroutines.
 type Engine struct {
-	cache    *Cache[*core.Result] // nil when caching is disabled
-	compiled atomic.Uint64
-	errors   atomic.Uint64
+	cache *Cache[*core.Result] // nil when caching is disabled
+	// tokens bounds concurrent compilations when Options.Workers > 0;
+	// only actual compiler executions hold a slot.
+	tokens    chan struct{}
+	flights   flightGroup
+	compiled  atomic.Uint64
+	coalesced atomic.Uint64
+	errors    atomic.Uint64
 }
 
 // New returns an engine with the given options.
@@ -103,108 +203,150 @@ func New(opt Options) *Engine {
 	default:
 		e.cache = NewCache[*core.Result](opt.CacheSize)
 	}
+	if opt.Workers > 0 {
+		e.tokens = make(chan struct{}, opt.Workers)
+	}
 	return e
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	s := Stats{Compiled: e.compiled.Load(), Errors: e.errors.Load()}
+	s := Stats{
+		Compiled:  e.compiled.Load(),
+		Coalesced: e.coalesced.Load(),
+		Errors:    e.errors.Load(),
+	}
 	if e.cache != nil {
 		s.Cache = e.cache.Stats()
 	}
 	return s
 }
 
-// Compile runs one job, consulting the result cache first. Cancellation
-// of ctx or expiry of the job's timeout interrupts the compiler
-// cooperatively — the compilers poll the context between scheduler
-// iterations — so when Compile returns, no work is still running on the
-// job's behalf and failed results are never cached.
-func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
-	out := JobResult{Label: j.Label}
-	if j.Circuit == nil || j.Topo == nil {
-		out.Err = fmt.Errorf("engine: job %q needs both a circuit and a topology", j.Label)
+// Do handles one compilation request: it resolves the compiler from the
+// registry, consults the finished-result cache, attaches to an identical
+// in-flight compilation when one exists (single-flight), and otherwise
+// compiles. Cancellation of ctx or expiry of the request's timeout
+// interrupts the compiler cooperatively — registered compilers poll the
+// context between scheduler iterations — so when Do returns, no work is
+// still running on this request's behalf and failed results are never
+// cached.
+func (e *Engine) Do(ctx context.Context, req Request) Response {
+	out := Response{Label: req.Label}
+	if req.Circuit == nil || req.Topo == nil {
+		out.Err = fmt.Errorf("engine: request %q needs both a circuit and a topology", req.Label)
 		e.errors.Add(1)
 		return out
 	}
-	switch j.Compiler {
-	case Murali, Dai, SSync, "":
-	default:
-		// Reject up front so the Compiled counter only ever counts real
-		// compiler executions.
-		out.Err = fmt.Errorf("engine: unknown compiler %q", j.Compiler)
+	// Resolve up front so the Compiled counter only ever counts real
+	// compiler executions and unknown names fail as structured errors.
+	name, fn, err := resolveCompiler(req.Compiler)
+	out.Compiler = name
+	if err != nil {
+		out.Err = err
 		e.errors.Add(1)
 		return out
 	}
-	// Content addressing costs a full canonical render + hash per job, so
-	// it is skipped entirely on cacheless engines; Key stays zero there.
-	if e.cache != nil {
-		key, err := JobKey(j)
-		if err != nil {
-			out.Err = err
+	// The request timeout bounds everything Do does on the request's
+	// behalf — queueing for a worker slot, waiting on a coalesced
+	// in-flight compilation, and compiling — so a short-deadline request
+	// that attaches to a long-running identical flight still fails by its
+	// own budget, not the leader's.
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	// Content addressing costs a full canonical render + hash per
+	// request, so it is skipped entirely on cacheless engines; Key stays
+	// zero there and coalescing (which is keyed) is skipped with it.
+	if e.cache == nil {
+		out.Result, out.Err = e.compile(ctx, fn, req)
+		if out.Err != nil {
 			e.errors.Add(1)
-			return out
 		}
-		out.Key = key
-		if res, ok := e.cache.Get(key); ok {
-			out.Res, out.CacheHit = res, true
-			return out
-		}
+		return out
+	}
+	key, err := RequestKey(req)
+	if err != nil {
+		out.Err = err
+		e.errors.Add(1)
+		return out
+	}
+	out.Key = key
+	if res, ok := e.cache.Get(key); ok {
+		out.Result, out.CacheHit = res, true
+		return out
 	}
 	if err := ctx.Err(); err != nil {
 		out.Err = err
 		e.errors.Add(1)
 		return out
 	}
-	out.Res, out.Err = e.compileBounded(ctx, j)
+	// The leader caches its result inside the flight (before the flight
+	// is deregistered), so once a compilation for this key has started,
+	// no later request can ever start a second one: it either joins the
+	// flight or hits the cache.
+	out.Result, out.Err, out.Coalesced = e.flights.do(ctx, key, func() (*core.Result, error) {
+		res, err := e.compile(ctx, fn, req)
+		if err == nil {
+			e.cache.Put(key, res)
+		}
+		return res, err
+	})
+	if out.Coalesced {
+		e.coalesced.Add(1)
+	}
 	if out.Err != nil {
 		e.errors.Add(1)
-		return out
-	}
-	if e.cache != nil {
-		e.cache.Put(out.Key, out.Res)
 	}
 	return out
 }
 
-// compileBounded dispatches to the job's compiler under ctx and the job
-// timeout. The compilers are cooperatively cancellable, so this runs on
-// the calling goroutine and holds it (and any pool token the caller
-// carries) until compilation really stops.
-func (e *Engine) compileBounded(ctx context.Context, j Job) (*core.Result, error) {
-	if j.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
-		defer cancel()
+// Compile runs one legacy-shaped job through Do.
+//
+// Deprecated: use Do with a Request.
+func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
+	return jobResult(e.Do(ctx, j.Request()))
+}
+
+// compile acquires a worker slot (when the engine is bounded) and runs
+// the resolved compiler under ctx, which Do has already scoped to the
+// request timeout. Registered compilers are cooperatively cancellable,
+// so this runs on the calling goroutine and holds it until compilation
+// really stops.
+func (e *Engine) compile(ctx context.Context, fn CompilerFunc, req Request) (*core.Result, error) {
+	if e.tokens != nil {
+		select {
+		case e.tokens <- struct{}{}:
+			defer func() { <-e.tokens }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	res, err := compileCtx(ctx, j)
+	res, err := fn(ctx, req)
 	e.compiled.Add(1)
 	if err != nil && ctx.Err() != nil {
-		err = fmt.Errorf("engine: job %q: %w", j.Label, err)
+		err = fmt.Errorf("engine: request %q: %w", req.Label, err)
 	}
 	return res, err
 }
 
-// CompileDirect is the uncached, unbounded compiler dispatch — the single
-// place (with compileCtx) that maps a Compiler name to an implementation.
-// Engine.Compile wraps it with caching and deadlines; serial callers (and
-// the experiment runners' reference path) may call it directly.
-func CompileDirect(j Job) (*core.Result, error) {
-	return compileCtx(context.Background(), j)
+// Direct is the uncached, unbounded compiler dispatch: it resolves
+// req.Compiler from the registry and runs it on the calling goroutine
+// with no engine involved. Engine.Do wraps it with caching, coalescing
+// and deadlines; serial callers (and the experiment runners' reference
+// path) may call it directly.
+func Direct(req Request) (*core.Result, error) {
+	_, fn, err := resolveCompiler(req.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	return fn(context.Background(), req)
 }
 
-func compileCtx(ctx context.Context, j Job) (*core.Result, error) {
-	switch j.Compiler {
-	case Murali:
-		return baseline.CompileMuraliCtx(ctx, j.Circuit, j.Topo)
-	case Dai:
-		return baseline.CompileDaiCtx(ctx, j.Circuit, j.Topo)
-	case SSync, "":
-		cfg := core.DefaultConfig()
-		if j.Config != nil {
-			cfg = *j.Config
-		}
-		return core.CompileCtx(ctx, cfg, j.Circuit, j.Topo)
-	}
-	return nil, fmt.Errorf("engine: unknown compiler %q", j.Compiler)
+// CompileDirect is Direct over the legacy job shape.
+//
+// Deprecated: use Direct with a Request.
+func CompileDirect(j Job) (*core.Result, error) {
+	return Direct(j.Request())
 }

@@ -6,14 +6,14 @@ import (
 	"fmt"
 	"io"
 
-	"ssync/internal/core"
 	"ssync/internal/qasm"
 )
 
-// Key content-addresses one compilation request. Two jobs share a key
-// exactly when their canonical OpenQASM, device layout, compiler and
-// configuration coincide — so a key hit is a proof the cached schedule
-// answers the new request.
+// Key content-addresses one compilation request. Two requests share a key
+// exactly when their canonical OpenQASM, device layout, registry compiler
+// name and configuration (including the annealer seed, for compilers that
+// anneal) coincide — so a key hit is a proof the cached schedule answers
+// the new request.
 type Key [sha256.Size]byte
 
 // String renders the key as lowercase hex.
@@ -21,58 +21,80 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
 // keyVersion tags the hash layout; bump it whenever the serialisation
 // below changes so stale external key material can never alias.
-const keyVersion = "ssync-job-v1"
+// v2: compiler field is the open registry name, and the annealer
+// configuration (with its deterministic seed) joined the hash.
+const keyVersion = "ssync-req-v2"
 
-// JobKey computes the content address of a job. The circuit enters via
-// its canonical OpenQASM 2.0 rendering (qasm.Write), which is stable
-// across gate-order-preserving re-parses; the topology enters via its
-// name plus full trap/segment layout; the S-SYNC configuration enters via
-// its Go-syntax rendering (deterministic field order). Baseline compilers
-// take no configuration, so theirs hashes as a fixed token.
-func JobKey(j Job) (Key, error) {
+// RequestKey computes the content address of a request. The circuit
+// enters via its canonical OpenQASM 2.0 rendering (qasm.Write), which is
+// stable across gate-order-preserving re-parses; the topology enters via
+// its name plus full trap/segment layout; the compiler enters via its
+// resolved registry name — so distinct registry entries can never collide
+// — and the S-SYNC/annealer configurations enter via their Go-syntax
+// renderings (deterministic field order). The built-in baselines take no
+// configuration, so theirs hashes as a fixed token.
+func RequestKey(req Request) (Key, error) {
 	var k Key
-	if j.Circuit == nil || j.Topo == nil {
-		return k, fmt.Errorf("engine: cannot key a job without circuit and topology")
+	if req.Circuit == nil || req.Topo == nil {
+		return k, fmt.Errorf("engine: cannot key a request without circuit and topology")
+	}
+	name := req.Compiler
+	if name == "" {
+		name = CompilerSSync
 	}
 	h := sha256.New()
 	io.WriteString(h, keyVersion)
 	io.WriteString(h, "\x00qasm\x00")
-	io.WriteString(h, qasm.Write(j.Circuit))
+	io.WriteString(h, qasm.Write(req.Circuit))
 	io.WriteString(h, "\x00topo\x00")
 	// Length-prefix the free-form name so a crafted name can never alias
 	// the trap/segment serialization that follows.
-	fmt.Fprintf(h, "%d\x00%s", len(j.Topo.Name), j.Topo.Name)
-	for _, tr := range j.Topo.Traps {
+	fmt.Fprintf(h, "%d\x00%s", len(req.Topo.Name), req.Topo.Name)
+	for _, tr := range req.Topo.Traps {
 		fmt.Fprintf(h, "|t%d:%d", tr.ID, tr.Capacity)
 	}
-	for _, s := range j.Topo.Segments {
+	for _, s := range req.Topo.Segments {
 		fmt.Fprintf(h, "|s%d-%d:%d,%d:j%d:h%d", s.A, s.B, int(s.EndA), int(s.EndB), s.Junctions, s.Hops)
 	}
 	io.WriteString(h, "\x00compiler\x00")
-	io.WriteString(h, string(normalizeCompiler(j.Compiler)))
+	// Length-prefix the open-ended registry name for the same reason as
+	// the topology name above.
+	fmt.Fprintf(h, "%d\x00%s", len(name), name)
 	io.WriteString(h, "\x00config\x00")
-	io.WriteString(h, configSignature(j))
+	io.WriteString(h, configSignature(name, req))
+	io.WriteString(h, "\x00anneal\x00")
+	io.WriteString(h, annealSignature(name, req))
 	h.Sum(k[:0])
 	return k, nil
 }
 
-func normalizeCompiler(c Compiler) Compiler {
-	if c == "" {
-		return SSync
-	}
-	return c
-}
+// JobKey computes the content address of a legacy-shaped job.
+//
+// Deprecated: use RequestKey.
+func JobKey(j Job) (Key, error) { return RequestKey(j.Request()) }
 
-func configSignature(j Job) string {
-	if normalizeCompiler(j.Compiler) != SSync {
+// configSignature renders the request's resolved scheduler configuration.
+// The built-in baselines take no configuration, so an explicit Config on
+// their requests does not fragment the cache; every other compiler —
+// including custom registrations, which may read Config — hashes the
+// resolved value. %#v renders struct fields in declaration order with
+// full float precision, giving a deterministic signature without
+// reflection plumbing of our own.
+func configSignature(name string, req Request) string {
+	if name == CompilerMurali || name == CompilerDai {
 		return "none"
 	}
-	cfg := core.DefaultConfig()
-	if j.Config != nil {
-		cfg = *j.Config
+	return fmt.Sprintf("%#v", ssyncConfig(req))
+}
+
+// annealSignature renders the resolved annealer configuration — seed
+// included, which is what makes annealed results cacheable at all — for
+// the annealed compiler and for any request that sets Anneal explicitly
+// (a custom compiler may read it). Everything else hashes a fixed token,
+// so plain ssync/baseline requests are unaffected.
+func annealSignature(name string, req Request) string {
+	if name == CompilerSSyncAnnealed || req.Anneal != nil {
+		return fmt.Sprintf("%#v", annealConfig(req))
 	}
-	// %#v renders struct fields in declaration order with full float
-	// precision, giving a deterministic signature without reflection
-	// plumbing of our own.
-	return fmt.Sprintf("%#v", cfg)
+	return "none"
 }

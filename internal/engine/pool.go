@@ -7,29 +7,34 @@ import (
 	"time"
 )
 
-// Pool fans a batch of jobs across a fixed set of workers. Results come
-// back in job order regardless of completion order, so a batch run is a
-// drop-in replacement for the equivalent serial loop.
+// Pool fans a batch of requests across a fixed set of workers. Results
+// come back in request order regardless of completion order, so a batch
+// run is a drop-in replacement for the equivalent serial loop.
 type Pool struct {
-	// Engine executes (and caches) the jobs; nil gets a fresh cacheless
-	// engine per Run.
+	// Engine executes (and caches) the requests; nil gets a fresh
+	// cacheless engine per run.
 	Engine *Engine
 	// Workers is the concurrency bound; <= 0 selects GOMAXPROCS.
 	Workers int
-	// Timeout is the per-job default applied to jobs whose own Timeout is
-	// zero; 0 means unbounded.
+	// Timeout is the per-request default applied to requests whose own
+	// Timeout is zero; 0 means unbounded.
 	Timeout time.Duration
 	// Tokens, when non-nil, is a capacity limiter shared across pools:
-	// every in-flight job holds one token, so a buffered channel of size N
-	// bounds total concurrency at N machine-wide even when many Run calls
-	// (e.g. concurrent service requests) are active at once.
+	// every in-flight request holds one token, so a buffered channel of
+	// size N bounds total concurrency at N machine-wide even when many
+	// runs (e.g. concurrent service requests) are active at once.
+	//
+	// Deprecated: prefer Options.Workers on the engine itself, which
+	// bounds actual compilations — cache hits and coalesced waiters pass
+	// without a slot, so identical requests cannot starve the budget.
 	Tokens chan struct{}
 }
 
-// Run compiles every job and returns one JobResult per job, index-aligned
-// with the input. Cancelling ctx makes remaining jobs fail fast with the
-// context error; already-finished results are kept.
-func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
+// RunRequests handles every request through Engine.Do and returns one
+// Response per request, index-aligned with the input. Cancelling ctx
+// makes remaining requests fail fast with the context error;
+// already-finished results are kept.
+func (p *Pool) RunRequests(ctx context.Context, reqs []Request) []Response {
 	eng := p.Engine
 	if eng == nil {
 		eng = New(Options{CacheSize: -1})
@@ -38,11 +43,11 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(reqs) {
+		workers = len(reqs)
 	}
-	results := make([]JobResult, len(jobs))
-	if len(jobs) == 0 {
+	results := make([]Response, len(reqs))
+	if len(reqs) == 0 {
 		return results
 	}
 	idx := make(chan int)
@@ -52,26 +57,26 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				if j.Timeout == 0 {
-					j.Timeout = p.Timeout
+				req := reqs[i]
+				if req.Timeout == 0 {
+					req.Timeout = p.Timeout
 				}
 				if p.Tokens != nil {
 					select {
 					case p.Tokens <- struct{}{}:
 					case <-ctx.Done():
-						results[i] = JobResult{Label: j.Label, Err: ctx.Err()}
+						results[i] = Response{Label: req.Label, Err: ctx.Err()}
 						continue
 					}
 				}
-				results[i] = eng.Compile(ctx, j)
+				results[i] = eng.Do(ctx, req)
 				if p.Tokens != nil {
 					<-p.Tokens
 				}
 			}
 		}()
 	}
-	for i := range jobs {
+	for i := range reqs {
 		idx <- i
 	}
 	close(idx)
@@ -79,11 +84,36 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
 	return results
 }
 
-// FirstError returns the lowest-index error in a batch, or nil.
-func FirstError(results []JobResult) error {
+// Run compiles every legacy-shaped job and returns one JobResult per
+// job, index-aligned with the input.
+//
+// Deprecated: use RunRequests.
+func (p *Pool) Run(ctx context.Context, jobs []Job) []JobResult {
+	reqs := make([]Request, len(jobs))
+	for i, j := range jobs {
+		reqs[i] = j.Request()
+	}
+	responses := p.RunRequests(ctx, reqs)
+	results := make([]JobResult, len(responses))
+	for i, r := range responses {
+		results[i] = jobResult(r)
+	}
+	return results
+}
+
+// failer is satisfied by both result shapes so FirstError spans the
+// legacy and request APIs.
+type failer interface{ failure() error }
+
+func (r Response) failure() error  { return r.Err }
+func (r JobResult) failure() error { return r.Err }
+
+// FirstError returns the lowest-index error in a batch of responses (or
+// legacy job results), or nil.
+func FirstError[R failer](results []R) error {
 	for _, r := range results {
-		if r.Err != nil {
-			return r.Err
+		if err := r.failure(); err != nil {
+			return err
 		}
 	}
 	return nil

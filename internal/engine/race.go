@@ -12,17 +12,33 @@ import (
 	"ssync/internal/sim"
 )
 
-// Variant is one entrant in a compilation portfolio: a compiler plus (for
-// S-SYNC) a configuration.
+// Variant is one entrant in a compilation portfolio: a registered
+// compiler plus optional configuration.
 type Variant struct {
 	Name     string
 	Compiler Compiler
 	Config   *core.Config
+	// Anneal tunes the "ssync-annealed" compiler; nil means
+	// mapping.DefaultAnnealConfig() (deterministic seed).
+	Anneal *mapping.AnnealConfig
+}
+
+// request converts the variant into a compilation request for c on topo.
+func (v Variant) request(c *circuit.Circuit, topo *device.Topology) Request {
+	return Request{
+		Label:    v.Name,
+		Circuit:  c,
+		Topo:     topo,
+		Compiler: string(v.Compiler),
+		Config:   v.Config,
+		Anneal:   v.Anneal,
+	}
 }
 
 // DefaultPortfolio returns the standard entrant set: S-SYNC under each of
-// the paper's three first-level mapping strategies (Sec. 3.4) plus the
-// commutation-aware scheduler extension.
+// the paper's three first-level mapping strategies (Sec. 3.4), the
+// commutation-aware scheduler extension, and the simulated-annealing
+// mapper under its deterministic default seed.
 func DefaultPortfolio() []Variant {
 	withStrategy := func(s mapping.Strategy) *core.Config {
 		cfg := core.DefaultConfig()
@@ -31,11 +47,13 @@ func DefaultPortfolio() []Variant {
 	}
 	commuting := core.DefaultConfig()
 	commuting.CommutationAware = true
+	annealed := mapping.DefaultAnnealConfig()
 	return []Variant{
 		{Name: "ssync/gathering", Compiler: SSync, Config: withStrategy(mapping.Gathering)},
 		{Name: "ssync/even-divided", Compiler: SSync, Config: withStrategy(mapping.EvenDivided)},
 		{Name: "ssync/sta", Compiler: SSync, Config: withStrategy(mapping.STA)},
 		{Name: "ssync/commutation", Compiler: SSync, Config: &commuting},
+		{Name: "ssync/annealed", Compiler: CompilerSSyncAnnealed, Anneal: &annealed},
 	}
 }
 
@@ -44,8 +62,8 @@ func DefaultPortfolio() []Variant {
 // error and a zero Metrics.
 type RaceOutcome struct {
 	WinnerIndex int
-	Winner      JobResult
-	Results     []JobResult
+	Winner      Response
+	Results     []Response
 	Metrics     []sim.Metrics
 }
 
@@ -56,14 +74,16 @@ type RaceOptions struct {
 	// Timeout is the per-variant compile bound; 0 means unbounded.
 	Timeout time.Duration
 	// Tokens is an optional shared capacity limiter (see Pool.Tokens).
+	//
+	// Deprecated: prefer Options.Workers on the engine (see Pool.Tokens).
 	Tokens chan struct{}
 	// Sim configures the scoring simulation; the zero value selects
 	// sim.DefaultOptions().
 	Sim *sim.Options
-	// Metrics, when non-nil, caches scoring-simulation results per job
-	// key, so re-racing cached compiles skips simulation too. The caller
-	// must dedicate the cache to one simulation configuration: keys do
-	// not cover Sim.
+	// Metrics, when non-nil, caches scoring-simulation results per
+	// request key, so re-racing cached compiles skips simulation too. The
+	// caller must dedicate the cache to one simulation configuration:
+	// keys do not cover Sim.
 	Metrics *Cache[sim.Metrics]
 }
 
@@ -75,12 +95,12 @@ func (e *Engine) Race(ctx context.Context, c *circuit.Circuit, topo *device.Topo
 	if len(variants) == 0 {
 		variants = DefaultPortfolio()
 	}
-	jobs := make([]Job, len(variants))
+	reqs := make([]Request, len(variants))
 	for i, v := range variants {
-		jobs[i] = Job{Label: v.Name, Circuit: c, Topo: topo, Compiler: v.Compiler, Config: v.Config}
+		reqs[i] = v.request(c, topo)
 	}
 	pool := Pool{Engine: e, Workers: opt.Workers, Timeout: opt.Timeout, Tokens: opt.Tokens}
-	results := pool.Run(ctx, jobs)
+	results := pool.RunRequests(ctx, reqs)
 
 	simOpt := sim.DefaultOptions()
 	if opt.Sim != nil {
@@ -103,7 +123,7 @@ func (e *Engine) Race(ctx context.Context, c *circuit.Circuit, topo *device.Topo
 			m, cached = opt.Metrics.Get(r.Key)
 		}
 		if !cached {
-			m = sim.Run(r.Res.Schedule, topo, simOpt)
+			m = sim.Run(r.Result.Schedule, topo, simOpt)
 			if useCache {
 				opt.Metrics.Put(r.Key, m)
 			}
@@ -126,7 +146,7 @@ func raceBetter(out *RaceOutcome, i, j int) bool {
 	if mi.SuccessRate != mj.SuccessRate {
 		return mi.SuccessRate > mj.SuccessRate
 	}
-	ci, cj := out.Results[i].Res.Counts, out.Results[j].Res.Counts
+	ci, cj := out.Results[i].Result.Counts, out.Results[j].Result.Counts
 	if ci.Shuttles != cj.Shuttles {
 		return ci.Shuttles < cj.Shuttles
 	}

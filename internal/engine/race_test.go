@@ -36,7 +36,7 @@ func TestRaceWinnerBeatsOrTiesEveryMember(t *testing.T) {
 				i, r.Label, m.SuccessRate, win.SuccessRate)
 		}
 		if m.SuccessRate == win.SuccessRate &&
-			r.Res.Counts.Shuttles < out.Winner.Res.Counts.Shuttles {
+			r.Result.Counts.Shuttles < out.Winner.Result.Counts.Shuttles {
 			t.Errorf("entrant %d (%s) ties success but uses fewer shuttles", i, r.Label)
 		}
 	}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ssync/internal/baseline"
+	"ssync/internal/core"
+	"ssync/internal/mapping"
+)
+
+// CompilerFunc is one pluggable compiler: it schedules req.Circuit onto
+// req.Topo and returns the result. Implementations must be deterministic
+// for identical requests (the engine content-addresses results by request)
+// and should poll ctx between scheduler iterations so cancellation and
+// per-request timeouts take effect.
+type CompilerFunc func(ctx context.Context, req Request) (*core.Result, error)
+
+// Built-in registry names. The zero/empty Request.Compiler resolves to
+// CompilerSSync.
+const (
+	// CompilerMurali is the Murali et al. (ISCA 2020) baseline.
+	CompilerMurali = "murali"
+	// CompilerDai is the Dai et al. (IEEE TQE 2024) baseline.
+	CompilerDai = "dai"
+	// CompilerSSync is this repository's S-SYNC compiler.
+	CompilerSSync = "ssync"
+	// CompilerSSyncAnnealed is S-SYNC seeded with the simulated-annealing
+	// first-level mapping (deterministic under Request.Anneal.Seed).
+	CompilerSSyncAnnealed = "ssync-annealed"
+)
+
+// UnknownCompilerError reports a Request.Compiler that names no registry
+// entry. Known carries the registered names at lookup time, sorted, so
+// callers (and HTTP error bodies) can say what would have worked.
+type UnknownCompilerError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownCompilerError) Error() string {
+	return fmt.Sprintf("engine: unknown compiler %q (registered: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
+// registry is the process-wide compiler table. A plain mutex (not RWMutex)
+// keeps it simple; lookups copy the function pointer out under the lock,
+// so compilation itself never holds it.
+var registry = struct {
+	sync.Mutex
+	m map[string]CompilerFunc
+}{m: make(map[string]CompilerFunc)}
+
+// Register adds a named compiler to the process-wide registry, making it
+// addressable from every Engine via Request.Compiler (and from ssyncd's
+// /v2 endpoints). Names are case-sensitive, must be non-empty, and may
+// not collide with an existing entry; fn must be non-nil.
+func Register(name string, fn CompilerFunc) error {
+	if name == "" {
+		return fmt.Errorf("engine: Register with empty compiler name")
+	}
+	if fn == nil {
+		return fmt.Errorf("engine: Register(%q) with nil CompilerFunc", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("engine: compiler %q already registered", name)
+	}
+	registry.m[name] = fn
+	return nil
+}
+
+// MustRegister is Register that panics on error; intended for init-time
+// registration of compilers that must exist.
+func MustRegister(name string, fn CompilerFunc) {
+	if err := Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Compilers returns the registered compiler names, sorted.
+func Compilers() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registered reports whether name (after empty-name normalisation) is in
+// the registry.
+func Registered(name string) bool {
+	_, _, err := resolveCompiler(name)
+	return err == nil
+}
+
+// resolveCompiler normalises the empty name to CompilerSSync and looks the
+// result up, returning the resolved name alongside the implementation.
+func resolveCompiler(name string) (string, CompilerFunc, error) {
+	if name == "" {
+		name = CompilerSSync
+	}
+	registry.Lock()
+	fn, ok := registry.m[name]
+	registry.Unlock()
+	if !ok {
+		return name, nil, &UnknownCompilerError{Name: name, Known: Compilers()}
+	}
+	return name, fn, nil
+}
+
+// ssyncConfig resolves a request's S-SYNC configuration (nil means the
+// paper defaults).
+func ssyncConfig(req Request) core.Config {
+	if req.Config != nil {
+		return *req.Config
+	}
+	return core.DefaultConfig()
+}
+
+// annealConfig resolves a request's annealer configuration (nil means
+// DefaultAnnealConfig, whose fixed Seed keeps results — and cache keys —
+// deterministic).
+func annealConfig(req Request) mapping.AnnealConfig {
+	if req.Anneal != nil {
+		return *req.Anneal
+	}
+	return mapping.DefaultAnnealConfig()
+}
+
+func init() {
+	MustRegister(CompilerMurali, func(ctx context.Context, req Request) (*core.Result, error) {
+		return baseline.CompileMuraliCtx(ctx, req.Circuit, req.Topo)
+	})
+	MustRegister(CompilerDai, func(ctx context.Context, req Request) (*core.Result, error) {
+		return baseline.CompileDaiCtx(ctx, req.Circuit, req.Topo)
+	})
+	MustRegister(CompilerSSync, func(ctx context.Context, req Request) (*core.Result, error) {
+		return core.CompileCtx(ctx, ssyncConfig(req), req.Circuit, req.Topo)
+	})
+	MustRegister(CompilerSSyncAnnealed, func(ctx context.Context, req Request) (*core.Result, error) {
+		cfg := ssyncConfig(req)
+		basis := req.Circuit.DecomposeToBasis()
+		place, err := mapping.InitialAnnealed(cfg.Mapping, annealConfig(req), basis, req.Topo)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileWithPlacementCtx(ctx, cfg, basis, req.Topo, place)
+	})
+}

@@ -36,9 +36,10 @@ const (
 // Compilers lists the evaluation order used in the figures.
 var Compilers = []CompilerName{Murali, Dai, SSync}
 
-// CompileWith dispatches to the named compiler with default configuration.
+// CompileWith dispatches to the named compiler with default configuration
+// through the engine's registry.
 func CompileWith(name CompilerName, c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
-	return engine.CompileDirect(engine.Job{Circuit: c, Topo: topo, Compiler: name})
+	return engine.Direct(engine.Request{Circuit: c, Topo: topo, Compiler: string(name)})
 }
 
 // Options scales the experiments: Quick shrinks workloads and sweeps to
@@ -133,15 +134,16 @@ func Comparison(opt Options) ([]Cell, error) {
 	return cells, err
 }
 
-// comparisonJobs enumerates the grid as engine jobs in the exact order the
-// serial loops visited it: app (sorted) → topology → compiler.
-func comparisonJobs(opt Options) ([]engine.Job, error) {
+// comparisonRequests enumerates the grid as compilation requests in the
+// exact order the serial loops visited it: app (sorted) → topology →
+// compiler.
+func comparisonRequests(opt Options) ([]engine.Request, error) {
 	apps, build := comparisonApps(opt)
 	capOf := device.PaperCapacity
 	if opt.Quick {
 		capOf = quickCapacity
 	}
-	var jobs []engine.Job
+	var reqs []engine.Request
 	for _, app := range sortedKeys(apps) {
 		c, err := build(app)
 		if err != nil {
@@ -156,37 +158,38 @@ func comparisonJobs(opt Options) ([]engine.Job, error) {
 				continue // paper omits infeasible panels too
 			}
 			for _, comp := range Compilers {
-				jobs = append(jobs, engine.Job{
+				reqs = append(reqs, engine.Request{
 					Label:    app,
 					Circuit:  c,
 					Topo:     topo,
-					Compiler: comp,
+					Compiler: string(comp),
 				})
 			}
 		}
 	}
-	return jobs, nil
+	return reqs, nil
 }
 
-// comparison compiles the grid concurrently. The compilers are
-// deterministic, so the cells match comparisonSerial field-for-field —
-// except CompileTime, which is wall-clock measured under GOMAXPROCS-way
-// contention here; treat the compile_time column as throughput context,
-// and use fig15 (still serial) for the paper's compile-time scaling.
+// comparison compiles the grid concurrently through the request API. The
+// compilers are deterministic, so the cells match comparisonSerial
+// field-for-field — except CompileTime, which is wall-clock measured
+// under GOMAXPROCS-way contention here; treat the compile_time column as
+// throughput context, and use fig15 (still serial) for the paper's
+// compile-time scaling.
 func comparison(opt Options) ([]Cell, error) {
-	jobs, err := comparisonJobs(opt)
+	reqs, err := comparisonRequests(opt)
 	if err != nil {
 		return nil, err
 	}
 	pool := engine.Pool{Engine: engine.New(engine.Options{CacheSize: -1})}
-	results := pool.Run(context.Background(), jobs)
+	results := pool.RunRequests(context.Background(), reqs)
 	cells := make([]Cell, 0, len(results))
 	for i, r := range results {
-		j := jobs[i]
+		req := reqs[i]
 		if r.Err != nil {
-			return nil, fmt.Errorf("exp: %s on %s with %s: %w", j.Label, j.Topo.Name, j.Compiler, r.Err)
+			return nil, fmt.Errorf("exp: %s on %s with %s: %w", req.Label, req.Topo.Name, req.Compiler, r.Err)
 		}
-		cells = append(cells, cellFromResult(j.Compiler, j.Label, j.Topo, r.Res))
+		cells = append(cells, cellFromResult(CompilerName(r.Compiler), req.Label, req.Topo, r.Result))
 	}
 	return cells, nil
 }
@@ -194,13 +197,13 @@ func comparison(opt Options) ([]Cell, error) {
 // comparisonSerial is the original single-goroutine grid walk, kept as
 // the reference implementation the pool path is tested against.
 func comparisonSerial(opt Options) ([]Cell, error) {
-	jobs, err := comparisonJobs(opt)
+	reqs, err := comparisonRequests(opt)
 	if err != nil {
 		return nil, err
 	}
 	var cells []Cell
-	for _, j := range jobs {
-		cell, err := runCell(j.Compiler, j.Label, j.Circuit, j.Topo)
+	for _, req := range reqs {
+		cell, err := runCell(CompilerName(req.Compiler), req.Label, req.Circuit, req.Topo)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,209 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+
+	"ssync/internal/circuit"
+)
+
+func TestParseIfConditionsGate(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+measure q[0] -> c[0];
+if (c==1) x q[1];
+if (c==2) cx q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 4 {
+		t.Fatalf("gate count = %d, want 4", len(c.Gates))
+	}
+	if c.Gates[0].Cond != nil || c.Gates[1].Cond != nil {
+		t.Error("unconditioned gates carry a condition")
+	}
+	x := c.Gates[2]
+	if x.Name != "x" || x.Cond == nil {
+		t.Fatalf("if-gate parsed as %+v", x)
+	}
+	if x.Cond.Creg != "c" || x.Cond.Value != 1 || x.Cond.Width != 2 {
+		t.Errorf("condition = %+v, want c==1 over 2 bits", *x.Cond)
+	}
+	cx := c.Gates[3]
+	if cx.Name != "cx" || cx.Cond == nil || cx.Cond.Value != 2 {
+		t.Errorf("conditioned cx parsed as %+v", cx)
+	}
+}
+
+func TestParseIfBroadcastAndUserGate(t *testing.T) {
+	src := `
+qreg q[3];
+creg flag[1];
+gate foo a, b { h a; cx a, b; }
+if (flag==1) x q;
+if (flag==1) foo q[0], q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 broadcast x gates + 2 expanded foo gates, all conditioned.
+	if len(c.Gates) != 5 {
+		t.Fatalf("gate count = %d, want 5", len(c.Gates))
+	}
+	for i, g := range c.Gates {
+		if g.Cond == nil {
+			t.Errorf("gate %d (%s) lost its condition", i, g.Name)
+			continue
+		}
+		if g.Cond.Creg != "flag" || g.Cond.Value != 1 {
+			t.Errorf("gate %d condition = %+v", i, *g.Cond)
+		}
+	}
+}
+
+func TestParseIfMeasureAndReset(t *testing.T) {
+	src := `
+qreg q[1];
+creg c[1];
+if (c==0) measure q[0] -> c[0];
+if (c==1) reset q[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("gate count = %d, want 2", len(c.Gates))
+	}
+	if c.Gates[0].Name != "measure" || c.Gates[0].Cond == nil {
+		t.Errorf("conditioned measure parsed as %+v", c.Gates[0])
+	}
+	if c.Gates[1].Name != "reset" || c.Gates[1].Cond == nil {
+		t.Errorf("conditioned reset parsed as %+v", c.Gates[1])
+	}
+}
+
+func TestParseIfErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error, including line/col position
+	}{
+		{
+			"undeclared creg",
+			"qreg q[1];\nif (nope==1) h q[0];",
+			"line 2, col 5",
+		},
+		{
+			"value does not fit",
+			"qreg q[1];\ncreg c[2];\nif (c==7) h q[0];",
+			"line 3, col 8",
+		},
+		{
+			"conditioned barrier",
+			"qreg q[1];\ncreg c[1];\nif (c==1) barrier q;",
+			"line 3, col 11",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not carry position %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWriteRoundTripConditions(t *testing.T) {
+	c := circuit.NewCircuit(2)
+	c.H(0).Measure(0)
+	cond := &circuit.Condition{Creg: "flag", Width: 3, Value: 5}
+	if err := c.Append(circuit.Gate{Name: "x", Qubits: []int{1}, Cond: cond}); err != nil {
+		t.Fatal(err)
+	}
+	out := Write(c)
+	if !strings.Contains(out, "creg flag[3];") {
+		t.Errorf("writer did not declare the condition creg:\n%s", out)
+	}
+	if !strings.Contains(out, "if(flag==5) x q[1];") {
+		t.Errorf("writer did not render the condition:\n%s", out)
+	}
+	c2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, out)
+	}
+	if len(c2.Gates) != len(c.Gates) {
+		t.Fatalf("round trip gate count %d != %d", len(c2.Gates), len(c.Gates))
+	}
+	g := c2.Gates[len(c2.Gates)-1]
+	if g.Cond == nil || *g.Cond != *cond {
+		t.Errorf("round-tripped condition = %+v, want %+v", g.Cond, cond)
+	}
+
+	// The canonical form is a fixpoint — required for stable cache keys.
+	again, err := Parse(Write(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Write(c2) != Write(again) {
+		t.Error("canonical QASM with conditions is not a fixpoint")
+	}
+}
+
+func TestWriteCanonicalisesCollidingMeasureCreg(t *testing.T) {
+	// A circuit that measures (implicit flat register "c", width =
+	// NumQubits) and also conditions on a narrower creg named "c" cannot
+	// round-trip both widths; the writer widens the declaration and the
+	// canonical form must still be a fixpoint.
+	c := circuit.NewCircuit(4)
+	c.H(0).Measure(0).Measure(3)
+	if err := c.Append(circuit.Gate{Name: "x", Qubits: []int{1},
+		Cond: &circuit.Condition{Creg: "c", Width: 2, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := Write(c)
+	if !strings.Contains(out, "creg c[4];") || strings.Contains(out, "creg c[2];") {
+		t.Errorf("colliding creg not widened to the measurement register:\n%s", out)
+	}
+	c2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, out)
+	}
+	if g := c2.Gates[len(c2.Gates)-1]; g.Cond == nil || g.Cond.Width != 4 || g.Cond.Value != 1 {
+		t.Errorf("re-parsed condition = %+v, want width 4 (canonicalised), value 1", g.Cond)
+	}
+	if Write(c2) != out {
+		t.Error("canonical form with a widened creg is not a fixpoint")
+	}
+}
+
+func TestConditionReachesCacheKeyCanonicalForm(t *testing.T) {
+	// Two programs identical up to the condition value must render to
+	// different canonical QASM — otherwise the engine's content-addressed
+	// cache would alias them.
+	parse := func(src string) string {
+		c, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Write(c)
+	}
+	a := parse("qreg q[1]; creg c[1]; if (c==0) x q[0];")
+	b := parse("qreg q[1]; creg c[1]; if (c==1) x q[0];")
+	plain := parse("qreg q[1]; creg c[1]; x q[0];")
+	if a == b {
+		t.Error("condition value does not reach the canonical form")
+	}
+	if a == plain {
+		t.Error("conditioned and unconditioned gates share a canonical form")
+	}
+}

@@ -5,9 +5,10 @@
 //
 // Supported: OPENQASM header, include (ignored; qelib1 gates are built in),
 // qreg/creg, builtin U/CX, the qelib1 standard-gate set, user-defined gate
-// declarations (expanded inline), barrier, measure, reset, and constant
-// arithmetic parameter expressions with pi.
-// Unsupported: if-statements and opaque gates (reported as errors).
+// declarations (expanded inline), barrier, measure, reset, classical
+// control (`if (creg==n) qop;`, represented as circuit.Condition on the
+// emitted gates), and constant arithmetic parameter expressions with pi.
+// Unsupported: opaque gates (reported as positioned errors).
 package qasm
 
 import (

@@ -41,6 +41,10 @@ type parser struct {
 	order []*reg // qregs in declaration order
 	gates map[string]*gateDef
 	circ  *circuit.Circuit
+	// cond is the pending classical control while parsing the operation
+	// of an `if (creg==n) ...;` statement; appendGate stamps it onto
+	// every gate it emits.
+	cond *circuit.Condition
 	// gates the circuit IR understands natively; applications of these are
 	// emitted directly instead of macro-expanded.
 	native map[string]bool
@@ -79,14 +83,19 @@ func Parse(src string) (*circuit.Circuit, error) {
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
+// errorfAt positions a parse error at a specific token's line and column.
+func (p *parser) errorfAt(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("qasm: line %d, col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("qasm: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+	return p.errorfAt(p.cur(), format, args...)
 }
 
 func (p *parser) expectSymbol(s string) error {
 	t := p.next()
 	if (t.kind != tokSymbol && t.kind != tokArrow) || t.text != s {
-		return fmt.Errorf("qasm: line %d: expected %q, got %q", t.line, s, t.String())
+		return p.errorfAt(t, "expected %q, got %q", s, t.String())
 	}
 	return nil
 }
@@ -94,7 +103,7 @@ func (p *parser) expectSymbol(s string) error {
 func (p *parser) expectIdent() (string, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("qasm: line %d: expected identifier, got %q", t.line, t.String())
+		return "", p.errorfAt(t, "expected identifier, got %q", t.String())
 	}
 	return t.text, nil
 }
@@ -102,11 +111,11 @@ func (p *parser) expectIdent() (string, error) {
 func (p *parser) expectInt() (int, error) {
 	t := p.next()
 	if t.kind != tokNumber {
-		return 0, fmt.Errorf("qasm: line %d: expected integer, got %q", t.line, t.String())
+		return 0, p.errorfAt(t, "expected integer, got %q", t.String())
 	}
 	n, err := strconv.Atoi(t.text)
 	if err != nil {
-		return 0, fmt.Errorf("qasm: line %d: expected integer, got %q", t.line, t.text)
+		return 0, p.errorfAt(t, "expected integer, got %q", t.text)
 	}
 	return n, nil
 }
@@ -210,63 +219,11 @@ func (p *parser) parseStatement() error {
 	case "opaque":
 		return p.errorf("opaque gates are not supported")
 	case "if":
-		return p.errorf("classical control (if) is not supported")
+		return p.parseIf()
 	case "measure":
-		p.next()
-		if err := p.ensureCircuit(); err != nil {
-			return err
-		}
-		qs, err := p.parseArgument()
-		if err != nil {
-			return err
-		}
-		if err := p.expectSymbol("->"); err != nil {
-			return err
-		}
-		// classical target: id or id[idx]; validated for existence only.
-		cname, err := p.expectIdent()
-		if err != nil {
-			return err
-		}
-		if _, ok := p.cregs[cname]; !ok {
-			return p.errorf("measure into undeclared creg %q", cname)
-		}
-		if p.cur().kind == tokSymbol && p.cur().text == "[" {
-			p.next()
-			if _, err := p.expectInt(); err != nil {
-				return err
-			}
-			if err := p.expectSymbol("]"); err != nil {
-				return err
-			}
-		}
-		if err := p.expectSymbol(";"); err != nil {
-			return err
-		}
-		for _, q := range qs {
-			if err := p.appendGate(circuit.New("measure", []int{q})); err != nil {
-				return err
-			}
-		}
-		return nil
+		return p.parseMeasure()
 	case "reset":
-		p.next()
-		if err := p.ensureCircuit(); err != nil {
-			return err
-		}
-		qs, err := p.parseArgument()
-		if err != nil {
-			return err
-		}
-		if err := p.expectSymbol(";"); err != nil {
-			return err
-		}
-		for _, q := range qs {
-			if err := p.appendGate(circuit.New("reset", []int{q})); err != nil {
-				return err
-			}
-		}
-		return nil
+		return p.parseReset()
 	case "barrier":
 		p.next()
 		if err := p.ensureCircuit(); err != nil {
@@ -292,6 +249,127 @@ func (p *parser) parseStatement() error {
 	default:
 		return p.parseGateCall()
 	}
+}
+
+// parseIf parses `if (creg == n) qop;` — OpenQASM 2.0 classical control —
+// and emits the conditioned operation with its Condition attached. Only
+// quantum operations (gate applications, measure, reset) may be
+// conditioned; malformed conditions fail with the offending token's
+// line/col position.
+func (p *parser) parseIf() error {
+	p.next() // 'if'
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	cregTok := p.cur()
+	cname, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	r, ok := p.cregs[cname]
+	if !ok {
+		return p.errorfAt(cregTok, "if condition references undeclared creg %q", cname)
+	}
+	// '==' reaches us as two adjacent '=' symbol tokens.
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	valTok := p.cur()
+	val, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	// A creg of w bits holds values in [0, 2^w); a condition outside that
+	// range could never fire and is certainly a program bug.
+	if r.size < 63 && val >= 1<<uint(r.size) {
+		return p.errorfAt(valTok, "condition value %d does not fit creg %s[%d]", val, cname, r.size)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	opTok := p.cur()
+	if opTok.kind != tokIdent {
+		return p.errorfAt(opTok, "expected a gate application, measure or reset after if (...), got %q", opTok.String())
+	}
+	switch opTok.text {
+	case "qreg", "creg", "gate", "opaque", "include", "barrier", "if":
+		return p.errorfAt(opTok, "%q cannot be classically controlled", opTok.text)
+	}
+	p.cond = &circuit.Condition{Creg: cname, Width: r.size, Value: val}
+	defer func() { p.cond = nil }()
+	switch opTok.text {
+	case "measure":
+		return p.parseMeasure()
+	case "reset":
+		return p.parseReset()
+	default:
+		return p.parseGateCall()
+	}
+}
+
+// parseMeasure parses `measure qarg -> carg;`.
+func (p *parser) parseMeasure() error {
+	p.next() // 'measure'
+	if err := p.ensureCircuit(); err != nil {
+		return err
+	}
+	qs, err := p.parseArgument()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("->"); err != nil {
+		return err
+	}
+	// classical target: id or id[idx]; validated for existence only.
+	cname, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, ok := p.cregs[cname]; !ok {
+		return p.errorf("measure into undeclared creg %q", cname)
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "[" {
+		p.next()
+		if _, err := p.expectInt(); err != nil {
+			return err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return err
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	for _, q := range qs {
+		if err := p.appendGate(circuit.New("measure", []int{q})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseReset parses `reset qarg;`.
+func (p *parser) parseReset() error {
+	p.next() // 'reset'
+	if err := p.ensureCircuit(); err != nil {
+		return err
+	}
+	qs, err := p.parseArgument()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	for _, q := range qs {
+		if err := p.appendGate(circuit.New("reset", []int{q})); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseArgument parses `id` or `id[idx]` and returns the flat qubit indices
@@ -532,10 +610,20 @@ const (
 	maxParsedGates    = 1 << 22
 )
 
-// appendGate is circuit.Append behind the program-size guard.
+// appendGate is circuit.Append behind the program-size guard; it stamps
+// any pending `if` condition onto the gate (macro-expanded bodies
+// included: the classical register cannot change mid-expansion, so
+// conditioning every expanded piece is exact).
 func (p *parser) appendGate(g circuit.Gate) error {
 	if len(p.circ.Gates) >= maxParsedGates {
 		return fmt.Errorf("qasm: program exceeds the %d-gate limit", maxParsedGates)
+	}
+	// Barriers are scheduling fences, not quantum operations: a condition
+	// neither strengthens nor weakens them, so they stay unconditioned
+	// (and the writer's output stays re-parseable).
+	if p.cond != nil && g.Cond == nil && g.Name != "barrier" {
+		cond := *p.cond
+		g.Cond = &cond
 	}
 	return p.circ.Append(g)
 }

@@ -189,7 +189,11 @@ func TestParseErrors(t *testing.T) {
 		{"out of range", `qreg q[2]; h q[5];`},
 		{"unknown gate", `qreg q[1]; zappo q[0];`},
 		{"opaque", `qreg q[1]; opaque foo a;`},
-		{"if", `qreg q[1]; creg c[1]; if (c==1) h q[0];`},
+		{"if undeclared creg", `qreg q[1]; if (c==1) h q[0];`},
+		{"if oversized value", `qreg q[1]; creg c[2]; if (c==4) h q[0];`},
+		{"if missing ==", `qreg q[1]; creg c[1]; if (c=1) h q[0];`},
+		{"if on barrier", `qreg q[1]; creg c[1]; if (c==1) barrier q;`},
+		{"if on qreg", `qreg q[1]; creg c[1]; if (c==1) qreg r[1];`},
 		{"bad broadcast", `qreg a[2]; qreg b[3]; cx a,b;`},
 		{"missing semicolon", `qreg q[1] h q[0];`},
 		{"duplicate qreg", `qreg q[1]; qreg q[2]; h q[0];`},

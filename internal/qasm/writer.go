@@ -8,22 +8,50 @@ import (
 )
 
 // Write renders a circuit as an OpenQASM 2.0 program with a single flat
-// quantum register q[n] (and c[n] if the circuit measures). Parse(Write(c))
-// reproduces c gate-for-gate for circuits in the supported gate set.
+// quantum register q[n], c[n] if the circuit measures, and one creg per
+// classical register referenced by `if` conditions. Parse(Write(c))
+// reproduces c gate-for-gate for circuits in the supported gate set,
+// with one canonicalisation: when the circuit both measures and
+// conditions on a register named "c" narrower than NumQubits, the
+// declared register widens to cover the measurement targets, and
+// re-parsed conditions carry the widened Cond.Width. The canonical form
+// is a fixpoint either way — Write(Parse(Write(c))) == Write(c) — which
+// is what the engine's content-addressed cache keys rely on.
 func Write(c *circuit.Circuit) string {
 	var b strings.Builder
 	b.WriteString("OPENQASM 2.0;\n")
 	b.WriteString("include \"qelib1.inc\";\n")
 	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
 	hasMeasure := false
+	// Classical registers referenced by conditions, in first-appearance
+	// order (deterministic output matters: Write feeds cache keys).
+	var condOrder []string
+	condWidth := map[string]int{}
 	for _, g := range c.Gates {
 		if g.Name == "measure" {
 			hasMeasure = true
-			break
+		}
+		if g.Cond != nil {
+			if _, seen := condWidth[g.Cond.Creg]; !seen {
+				condOrder = append(condOrder, g.Cond.Creg)
+			}
+			if g.Cond.Width > condWidth[g.Cond.Creg] {
+				condWidth[g.Cond.Creg] = g.Cond.Width
+			}
 		}
 	}
 	if hasMeasure {
-		fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+		// Measurements target the implicit flat register c[n]; widen it if
+		// a condition also references a creg named "c".
+		if w, ok := condWidth["c"]; !ok || w < c.NumQubits {
+			condWidth["c"] = c.NumQubits
+			if !ok {
+				condOrder = append([]string{"c"}, condOrder...)
+			}
+		}
+	}
+	for _, name := range condOrder {
+		fmt.Fprintf(&b, "creg %s[%d];\n", name, condWidth[name])
 	}
 	for _, g := range c.Gates {
 		writeGate(&b, g)
@@ -32,6 +60,9 @@ func Write(c *circuit.Circuit) string {
 }
 
 func writeGate(b *strings.Builder, g circuit.Gate) {
+	if g.Cond != nil {
+		fmt.Fprintf(b, "if(%s==%d) ", g.Cond.Creg, g.Cond.Value)
+	}
 	switch g.Name {
 	case "measure":
 		fmt.Fprintf(b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Qubits[0])

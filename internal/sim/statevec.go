@@ -225,6 +225,10 @@ func mat2(name string, params []float64) ([16]complex128, error) {
 // rejected (the verifier works on unitary prefixes).
 func (s *State) Apply(g circuit.Gate) error {
 	switch {
+	case g.Cond != nil:
+		// Whether the gate fires depends on a run-time measurement
+		// outcome; there is no single unitary to apply.
+		return fmt.Errorf("sim: classically-controlled gate %s has no unitary", g)
 	case g.Name == "barrier":
 		return nil
 	case g.Name == "measure" || g.Name == "reset":

@@ -9,17 +9,22 @@
 //
 //	c := ssync.QFT(24)
 //	topo, _ := ssync.TopologyByName("G-2x3", 17)
-//	res, _ := ssync.Compile(ssync.DefaultCompileConfig(), c, topo)
-//	m := ssync.Simulate(res.Schedule, topo, ssync.DefaultSimOptions())
+//	resp := ssync.Do(ctx, ssync.CompileRequest{Circuit: c, Topo: topo})
+//	if resp.Err != nil { ... }
+//	m := ssync.Simulate(resp.Result.Schedule, topo, ssync.DefaultSimOptions())
 //	fmt.Printf("shuttles=%d swaps=%d success=%.3e\n",
-//	    res.Counts.Shuttles, res.Counts.Swaps, m.SuccessRate)
+//	    resp.Result.Counts.Shuttles, resp.Result.Counts.Swaps, m.SuccessRate)
+//
+// Compilers are addressed by registry name ("ssync", "murali", "dai",
+// "ssync-annealed", plus anything added via RegisterCompiler); identical
+// requests are served from a content-addressed cache, and concurrent
+// identical requests coalesce into one compilation.
 package ssync
 
 import (
 	"context"
 	"sync"
 
-	"ssync/internal/baseline"
 	"ssync/internal/circuit"
 	"ssync/internal/core"
 	"ssync/internal/device"
@@ -48,6 +53,10 @@ func NewCircuit(n int) *Circuit { return circuit.NewCircuit(n) }
 func NewGate(name string, qubits []int, params ...float64) Gate {
 	return circuit.New(name, qubits, params...)
 }
+
+// GateCondition is the classical control of an OpenQASM 2.0
+// `if (creg==n) gate;` statement, attached to a Gate via its Cond field.
+type GateCondition = circuit.Condition
 
 // ParseQASM parses an OpenQASM 2.0 program.
 func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
@@ -150,18 +159,26 @@ const (
 func DefaultCompileConfig() CompileConfig { return core.DefaultConfig() }
 
 // Compile schedules a circuit onto a QCCD device with S-SYNC.
+//
+// Deprecated: use Do (or Engine.Do) with a CompileRequest, which adds
+// content-addressed caching, single-flight coalescing and registry
+// dispatch. Compile remains as a direct, uncached wrapper.
 func Compile(cfg CompileConfig, c *Circuit, topo *Topology) (*CompileResult, error) {
 	return core.Compile(cfg, c, topo)
 }
 
 // CompileMurali schedules with the Murali et al. (ISCA 2020) baseline.
+//
+// Deprecated: use Do with CompileRequest{Compiler: "murali"}.
 func CompileMurali(c *Circuit, topo *Topology) (*CompileResult, error) {
-	return baseline.CompileMurali(c, topo)
+	return engine.Direct(engine.Request{Circuit: c, Topo: topo, Compiler: engine.CompilerMurali})
 }
 
 // CompileDai schedules with the Dai et al. (IEEE TQE 2024) baseline.
+//
+// Deprecated: use Do with CompileRequest{Compiler: "dai"}.
 func CompileDai(c *Circuit, topo *Topology) (*CompileResult, error) {
-	return baseline.CompileDai(c, topo)
+	return engine.Direct(engine.Request{Circuit: c, Topo: topo, Compiler: engine.CompilerDai})
 }
 
 // InitialMapping computes an initial placement without compiling.
@@ -227,7 +244,8 @@ func RunExperimentCSV(name string, opt ExperimentOptions) (string, error) {
 
 // ---- concurrent compilation engine ----
 
-// Engine compiles jobs concurrently with content-addressed result reuse.
+// Engine compiles requests concurrently with content-addressed result
+// reuse and single-flight coalescing of identical in-flight requests.
 type Engine = engine.Engine
 
 // EngineOptions configures a new Engine (cache size, etc.).
@@ -236,13 +254,56 @@ type EngineOptions = engine.Options
 // EngineStats snapshots engine and cache counters.
 type EngineStats = engine.Stats
 
+// CompileRequest is one compilation request: circuit, device, registered
+// compiler name and optional configuration. It is the single input type
+// of the compilation API, handled by Engine.Do (or the package-level Do).
+type CompileRequest = engine.Request
+
+// CompileResponse is one compilation outcome: the result plus its cache
+// key, cache-hit and coalescing provenance.
+type CompileResponse = engine.Response
+
+// CompilerFunc is one pluggable compiler, addressable by name once
+// registered (RegisterCompiler).
+type CompilerFunc = engine.CompilerFunc
+
+// Registered compiler names (the registry is open: RegisterCompiler adds
+// more; Compilers lists the current set).
+const (
+	MuraliCompilerName        = engine.CompilerMurali
+	DaiCompilerName           = engine.CompilerDai
+	SSyncCompilerName         = engine.CompilerSSync
+	SSyncAnnealedCompilerName = engine.CompilerSSyncAnnealed
+)
+
+// RegisterCompiler adds a named compiler to the process-wide registry,
+// making it addressable from CompileRequest.Compiler (and from ssyncd's
+// /v2 endpoints). Names must be unique and non-empty.
+func RegisterCompiler(name string, fn CompilerFunc) error {
+	return engine.Register(name, fn)
+}
+
+// Compilers returns the registered compiler names, sorted.
+func Compilers() []string { return engine.Compilers() }
+
+// Do handles one CompileRequest on the process-wide DefaultEngine:
+// registry dispatch, content-addressed result reuse, and single-flight
+// coalescing of concurrent identical requests.
+func Do(ctx context.Context, req CompileRequest) CompileResponse {
+	return DefaultEngine().Do(ctx, req)
+}
+
 // CompileJob is one batch-compilation request.
+//
+// Deprecated: use CompileRequest.
 type CompileJob = engine.Job
 
 // CompileJobResult pairs a CompileJob with its outcome.
+//
+// Deprecated: use CompileResponse.
 type CompileJobResult = engine.JobResult
 
-// CompilePool fans batches of jobs across a fixed worker set.
+// CompilePool fans batches of requests across a fixed worker set.
 type CompilePool = engine.Pool
 
 // PortfolioVariant is one entrant in a portfolio race.
@@ -252,9 +313,14 @@ type PortfolioVariant = engine.Variant
 type PortfolioOutcome = engine.RaceOutcome
 
 // CompilerID selects a compiler for engine jobs.
+//
+// Deprecated: compilers are addressed by registry name (a plain string)
+// in CompileRequest.Compiler.
 type CompilerID = engine.Compiler
 
 // Engine compiler identifiers.
+//
+// Deprecated: use the *CompilerName string constants with CompileRequest.
 const (
 	MuraliCompiler = engine.Murali
 	DaiCompiler    = engine.Dai
@@ -282,21 +348,38 @@ func DefaultEngine() *Engine {
 // CompileBatch fans jobs across GOMAXPROCS workers of the process-wide
 // engine, returning results index-aligned with the input. Repeated
 // identical jobs are served from the shared result cache.
+//
+// Deprecated: build CompileRequests and run them through
+// CompilePool.RunRequests (or call Do per request); this wrapper
+// converts and stays for compatibility.
 func CompileBatch(ctx context.Context, jobs []CompileJob) []CompileJobResult {
 	pool := engine.Pool{Engine: DefaultEngine()}
 	return pool.Run(ctx, jobs)
+}
+
+// CompileRequests fans requests across GOMAXPROCS workers of the
+// process-wide engine, returning responses index-aligned with the input.
+// Repeated identical requests are served from the shared result cache,
+// and concurrent identical requests coalesce into one compilation.
+func CompileRequests(ctx context.Context, reqs []CompileRequest) []CompileResponse {
+	pool := engine.Pool{Engine: DefaultEngine()}
+	return pool.RunRequests(ctx, reqs)
 }
 
 // CompilePortfolio races several strategies for one circuit concurrently
 // on the process-wide engine and returns the outcome with the best
 // schedule (highest success rate, then fewest shuttles). A nil variants
 // slice races engine.DefaultPortfolio().
+//
+// Deprecated: call Engine.Race on an engine you control (DefaultEngine()
+// works); this wrapper stays for compatibility.
 func CompilePortfolio(ctx context.Context, c *Circuit, topo *Topology, variants []PortfolioVariant) (*PortfolioOutcome, error) {
 	return DefaultEngine().Race(ctx, c, topo, variants, engine.RaceOptions{})
 }
 
 // DefaultPortfolio returns the standard portfolio entrants: S-SYNC under
-// each first-level mapping strategy plus the commutation-aware scheduler.
+// each first-level mapping strategy, the commutation-aware scheduler,
+// and the annealed mapper under its deterministic default seed.
 func DefaultPortfolio() []PortfolioVariant { return engine.DefaultPortfolio() }
 
 // ---- analysis & extensions ----
@@ -349,6 +432,11 @@ func AnnealedMapping(cfg MappingConfig, ann AnnealConfig, c *Circuit, topo *Topo
 // CompileWithPlacement runs the S-SYNC scheduler from a caller-supplied
 // initial placement (e.g. one produced by AnnealedMapping). The circuit
 // must already be in the native basis; the placement is consumed.
+//
+// Deprecated: for annealed placements use Do with
+// CompileRequest{Compiler: "ssync-annealed"}, which is cacheable under
+// its deterministic seed; register a CompilerFunc for other custom
+// placement pipelines. This wrapper stays for compatibility.
 func CompileWithPlacement(cfg CompileConfig, c *Circuit, topo *Topology, p *Placement) (*CompileResult, error) {
 	return core.CompileWithPlacement(cfg, c, topo, p)
 }
