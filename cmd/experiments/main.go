@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("run", "all", "experiment: table1, table2, fig8..fig16, ablation or all")
+		name   = flag.String("run", "all", "experiment: table1, table2, fig8..fig16, ablation, passes or all")
 		quick  = flag.Bool("quick", false, "reduced-scale run")
 		format = flag.String("format", "text", "output format: text or csv")
 	)

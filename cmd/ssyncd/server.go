@@ -138,6 +138,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v2/compile", s.handleCompileV2)
 	mux.HandleFunc("/v2/batch", s.handleBatchV2)
 	mux.HandleFunc("/v2/compilers", s.handleCompilersV2)
+	mux.HandleFunc("/v2/passes", s.handlePassesV2)
 	mux.HandleFunc("/v2/stats", s.handleStatsV2)
 	return mux
 }
@@ -316,19 +317,28 @@ func (s *server) racePortfolio(ctx context.Context, req compileRequestV2) (compi
 	if req.Compiler != "" && req.Compiler != engine.CompilerSSync {
 		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio races ssync variants; drop the compiler field")
 	}
+	if len(req.Pipeline) > 0 {
+		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio races canned variants; drop the pipeline field (or compile the pipeline directly)")
+	}
 	if req.Mapping != "" {
 		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio already races every mapping strategy; drop the mapping field")
 	}
 	if req.AnnealSeed != nil {
 		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio already includes the annealed entrant under its default seed; drop the anneal_seed field")
 	}
-	c, err := buildCircuit(req)
-	if err != nil {
-		return compileResponseV2{}, http.StatusBadRequest, err
-	}
-	topo, err := buildTopology(req)
-	if err != nil {
-		return compileResponseV2{}, http.StatusBadRequest, err
+	// Construction is CPU work on the request goroutine; bound it by the
+	// engine's worker tokens like buildRequest does.
+	var c *circuit.Circuit
+	var topo *device.Topology
+	if err := s.eng.Limit(ctx, func() error {
+		var err error
+		if c, err = buildCircuit(req); err != nil {
+			return err
+		}
+		topo, err = buildTopology(req)
+		return err
+	}); err != nil {
+		return compileResponseV2{}, buildErrorStatus(err), err
 	}
 	out, err := s.eng.Race(ctx, c, topo, nil,
 		engine.RaceOptions{Workers: s.workers, Timeout: s.jobTimeout(req.TimeoutMs), Metrics: s.metrics})
@@ -366,7 +376,7 @@ func (s *server) render(req engine.Request, res engine.Response) compileResponse
 // renderWithMetrics shapes the wire response from an already-scored
 // compilation.
 func renderWithMetrics(req engine.Request, res engine.Response, m sim.Metrics) compileResponseV2 {
-	return compileResponseV2{
+	out := compileResponseV2{
 		compileResponse: compileResponse{
 			Label:         res.Label,
 			Compiler:      res.Compiler,
@@ -382,7 +392,16 @@ func renderWithMetrics(req engine.Request, res engine.Response, m sim.Metrics) c
 			Key:           res.Key.String(),
 		},
 		Coalesced: res.Coalesced,
+		Pipeline:  res.Pipeline,
 	}
+	for _, pt := range res.PassTimings {
+		out.Passes = append(out.Passes, passTimingV2{
+			Pass:      pt.Pass,
+			Ms:        float64(pt.Duration) / float64(time.Millisecond),
+			GateDelta: pt.GateDelta,
+		})
+	}
+	return out
 }
 
 // compileErrorStatus maps a compile failure to its HTTP status: 504 for
@@ -393,6 +412,18 @@ func compileErrorStatus(err error) int {
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusUnprocessableEntity
+}
+
+// buildErrorStatus maps a request-building failure to its HTTP status.
+// Validation problems are the client's fault (400), but construction
+// queues for an engine worker slot, so a context expiry there is load,
+// not a malformed request — report it like a compile-phase timeout
+// (retryable) rather than a 400.
+func buildErrorStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return compileErrorStatus(err)
+	}
+	return http.StatusBadRequest
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {

@@ -2,22 +2,37 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"ssync/internal/core"
 	"ssync/internal/engine"
 	"ssync/internal/mapping"
+	"ssync/internal/pass"
 )
 
 // The /v2 surface is the primary request schema over the engine's
 // CompileRequest API: the compiler field addresses the open registry
-// (GET /v2/compilers lists it), anneal_seed parameterises the
-// "ssync-annealed" entrant deterministically, and responses report
-// single-flight coalescing. /v1 adapts onto the same implementation.
+// (GET /v2/compilers lists it), the pipeline field composes staged
+// compilations from the pass registry (GET /v2/passes lists it),
+// anneal_seed parameterises the "ssync-annealed" entrant
+// deterministically, and responses report single-flight coalescing plus
+// per-pass timings. /v1 adapts onto the same implementation.
+
+// passSpecV2 is one pipeline stage over the wire: a registered pass name
+// plus its opaque options document.
+type passSpecV2 struct {
+	Name string `json:"name"`
+	// Options is pass-specific JSON, passed through opaquely; unknown
+	// fields are rejected by the pass itself.
+	Options json.RawMessage `json:"options,omitempty"`
+}
 
 // compileRequestV2 describes one compilation over the /v2 wire. Exactly
-// one of Benchmark and QASM selects the circuit.
+// one of Benchmark and QASM selects the circuit; at most one of Compiler
+// and Pipeline selects the strategy.
 type compileRequestV2 struct {
 	// Label is echoed back unchanged; useful for correlating batch entries.
 	Label string `json:"label,omitempty"`
@@ -30,13 +45,21 @@ type compileRequestV2 struct {
 	// Capacity is the per-trap slot count; 0 selects the paper's choice.
 	Capacity int `json:"capacity,omitempty"`
 	// Compiler names any registered compiler (see GET /v2/compilers);
-	// "" selects "ssync".
+	// "" selects "ssync". Mutually exclusive with Pipeline.
 	Compiler string `json:"compiler,omitempty"`
+	// Pipeline compiles through an explicit staged pipeline: each entry
+	// addresses the pass registry (see GET /v2/passes). A built-in
+	// compiler name and its canned pipeline are the same compilation —
+	// same cache key — so either form may be used interchangeably.
+	Pipeline []passSpecV2 `json:"pipeline,omitempty"`
 	// Mapping overrides the initial-mapping strategy ("gathering",
-	// "even-divided", "sta") for the ssync compiler family.
+	// "even-divided", "sta") for the ssync compiler family and for
+	// pipeline placement passes that do not override it themselves.
 	Mapping string `json:"mapping,omitempty"`
 	// AnnealSeed overrides the deterministic seed of the "ssync-annealed"
-	// compiler; nil keeps the default. The seed is part of the cache key.
+	// compiler (and of pipeline place-annealed stages without their own
+	// seed option); nil keeps the default. The seed is part of the cache
+	// key.
 	AnnealSeed *int64 `json:"anneal_seed,omitempty"`
 	// Portfolio races the default portfolio (including the annealed
 	// entrant) and returns the best result. Single-compile only.
@@ -46,13 +69,29 @@ type compileRequestV2 struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
+// passTimingV2 is one executed pipeline stage in a compile response.
+type passTimingV2 struct {
+	Pass string  `json:"pass"`
+	Ms   float64 `json:"ms"`
+	// GateDelta is the stage's change in working gate count (basis
+	// expansion for decomposition, transport overhead for routing).
+	GateDelta int `json:"gate_delta"`
+}
+
 // compileResponseV2 is one /v2 compilation outcome: the v1 fields plus
-// coalescing visibility.
+// coalescing and pipeline visibility.
 type compileResponseV2 struct {
 	compileResponse
 	// Coalesced reports that this request attached to an identical
 	// in-flight compilation instead of running its own.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Pipeline lists the executed pipeline's pass names in stage order
+	// (the canned expansion for built-in compiler names); omitted for
+	// opaque registered compilers.
+	Pipeline []string `json:"pipeline,omitempty"`
+	// Passes itemises the compilation per pass. Cache hits report the
+	// timings of the compilation that produced the cached result.
+	Passes []passTimingV2 `json:"passes,omitempty"`
 }
 
 type batchRequestV2 struct {
@@ -69,6 +108,20 @@ type compilersResponseV2 struct {
 	Compilers []string `json:"compilers"`
 }
 
+// passesResponseV2 lists the composable pass surface: every registered
+// pass name plus the canned pipelines behind the built-in compiler names
+// (the starting points most custom pipelines edit).
+type passesResponseV2 struct {
+	Passes    []string                `json:"passes"`
+	Pipelines map[string][]passSpecV2 `json:"pipelines"`
+}
+
+// passStatsV2 aggregates one pass's executions service-wide.
+type passStatsV2 struct {
+	Runs    uint64  `json:"runs"`
+	TotalMs float64 `json:"total_ms"`
+}
+
 type statsResponseV2 struct {
 	statsResponse
 	// Coalesced counts requests served by attaching to an in-flight
@@ -76,34 +129,70 @@ type statsResponseV2 struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Compilers lists the registered compiler names.
 	Compilers []string `json:"compilers"`
+	// Passes aggregates executed pipeline stages by pass name; only
+	// compilations that actually ran contribute (cache hits and
+	// coalesced waiters do not re-count).
+	Passes map[string]passStatsV2 `json:"passes,omitempty"`
 }
 
-// buildRequest turns a /v2 wire request into an engine request.
-func (s *server) buildRequest(req compileRequestV2) (engine.Request, error) {
+// pipelineSpecs converts the wire pipeline to the engine's pass specs.
+func pipelineSpecs(specs []passSpecV2) []pass.Spec {
+	if len(specs) == 0 {
+		return nil
+	}
+	out := make([]pass.Spec, len(specs))
+	for i, s := range specs {
+		out[i] = pass.Spec{Name: s.Name, Options: s.Options}
+	}
+	return out
+}
+
+// buildRequest turns a /v2 wire request into an engine request. Cheap
+// field-level validation (compiler/pipeline resolution, overrides) runs
+// first, so malformed requests are rejected without consuming compile
+// capacity; circuit and topology construction — CPU work paid before any
+// compile timeout starts — then runs under the engine's worker-token
+// limiter, so a burst of requests with huge inline QASM programs queues
+// for compile slots instead of saturating every request goroutine at
+// once.
+func (s *server) buildRequest(ctx context.Context, req compileRequestV2) (engine.Request, error) {
 	var out engine.Request
-	c, err := buildCircuit(req)
-	if err != nil {
-		return out, err
-	}
-	topo, err := buildTopology(req)
-	if err != nil {
-		return out, err
-	}
 	name := req.Compiler
-	if name == "" {
-		name = engine.CompilerSSync
-	}
-	if !engine.Registered(name) {
-		return out, &engine.UnknownCompilerError{Name: name, Known: engine.Compilers()}
+	if len(req.Pipeline) > 0 {
+		if name != "" {
+			return engine.Request{}, fmt.Errorf("pass either compiler or pipeline, not both")
+		}
+		// Build (and discard) the pipeline now so malformed stages fail
+		// as 400s with the offending stage named, not as compile errors.
+		built, err := pass.Build(pipelineSpecs(req.Pipeline))
+		if err != nil {
+			return engine.Request{}, err
+		}
+		// Reject overrides no stage would read — a mis-placed knob must
+		// not succeed silently with a different compilation than asked.
+		use := pass.PipelineUse(built)
+		if req.Mapping != "" && !use.Config {
+			return engine.Request{}, fmt.Errorf("mapping override is inert: no pipeline stage reads the scheduler config")
+		}
+		if req.AnnealSeed != nil && !use.Anneal {
+			return engine.Request{}, fmt.Errorf("anneal_seed is inert: no pipeline stage reads the annealer config (add %s)", pass.PlaceAnnealed)
+		}
+	} else {
+		if name == "" {
+			name = engine.CompilerSSync
+		}
+		if !engine.Registered(name) {
+			return engine.Request{}, &engine.UnknownCompilerError{Name: name, Known: engine.Compilers()}
+		}
 	}
 	var cfg *core.Config
 	if req.Mapping != "" {
 		if name == engine.CompilerMurali || name == engine.CompilerDai {
-			return out, fmt.Errorf("mapping override applies to the ssync compiler only")
+			return engine.Request{}, fmt.Errorf("mapping override applies to the ssync compiler only")
 		}
 		strat, err := mapping.ParseStrategy(req.Mapping)
 		if err != nil {
-			return out, err
+			return engine.Request{}, err
 		}
 		c := core.DefaultConfig()
 		c.Mapping.Strategy = strat
@@ -113,17 +202,32 @@ func (s *server) buildRequest(req compileRequestV2) (engine.Request, error) {
 	if req.AnnealSeed != nil {
 		switch name {
 		case engine.CompilerMurali, engine.CompilerDai, engine.CompilerSSync:
-			return out, fmt.Errorf("anneal_seed applies to the %q compiler only", engine.CompilerSSyncAnnealed)
+			return engine.Request{}, fmt.Errorf("anneal_seed applies to the %q compiler only", engine.CompilerSSyncAnnealed)
 		}
 		a := mapping.DefaultAnnealConfig()
 		a.Seed = *req.AnnealSeed
 		ann = &a
 	}
-	return engine.Request{
-		Label: req.Label, Circuit: c, Topo: topo,
-		Compiler: name, Config: cfg, Anneal: ann,
-		Timeout: s.jobTimeout(req.TimeoutMs),
-	}, nil
+	if err := s.eng.Limit(ctx, func() error {
+		c, err := buildCircuit(req)
+		if err != nil {
+			return err
+		}
+		topo, err := buildTopology(req)
+		if err != nil {
+			return err
+		}
+		out.Circuit, out.Topo = c, topo
+		return nil
+	}); err != nil {
+		return engine.Request{}, err
+	}
+	out.Label = req.Label
+	out.Compiler = name
+	out.Pipeline = pipelineSpecs(req.Pipeline)
+	out.Config, out.Anneal = cfg, ann
+	out.Timeout = s.jobTimeout(req.TimeoutMs)
+	return out, nil
 }
 
 // compileOne handles one wire request end to end (portfolio or single
@@ -132,9 +236,9 @@ func (s *server) compileOne(ctx context.Context, req compileRequestV2) (compileR
 	if req.Portfolio {
 		return s.racePortfolio(ctx, req)
 	}
-	er, err := s.buildRequest(req)
+	er, err := s.buildRequest(ctx, req)
 	if err != nil {
-		return compileResponseV2{}, http.StatusBadRequest, err
+		return compileResponseV2{}, buildErrorStatus(err), err
 	}
 	// Compile concurrency is bounded inside the engine (Options.Workers),
 	// so a single compile needs no pool plumbing.
@@ -190,7 +294,7 @@ func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, i
 			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: "portfolio is single-compile only; use the compile endpoint"}}
 			continue
 		}
-		er, err := s.buildRequest(cr)
+		er, err := s.buildRequest(ctx, cr)
 		if err != nil {
 			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: err.Error()}}
 			continue
@@ -265,6 +369,27 @@ func (s *server) handleCompilersV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, compilersResponseV2{Compilers: engine.Compilers()})
 }
 
+// handlePassesV2 serves GET /v2/passes: the registered pass names a
+// pipeline may compose, plus the canned pipelines behind the built-in
+// compiler names.
+func (s *server) handlePassesV2(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	names, pipelines := pass.BuiltinPipelines()
+	resp := passesResponseV2{Passes: pass.Names(), Pipelines: make(map[string][]passSpecV2, len(names))}
+	for i, name := range names {
+		specs := make([]passSpecV2, len(pipelines[i]))
+		for j, sp := range pipelines[i] {
+			specs[j] = passSpecV2{Name: sp.Name, Options: sp.Options}
+		}
+		resp.Pipelines[name] = specs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleStatsV2 serves GET /v2/stats: the v1 counters plus coalescing and
 // the registry listing.
 func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
@@ -274,9 +399,19 @@ func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, statsResponseV2{
+	resp := statsResponseV2{
 		statsResponse: s.statsV1(),
 		Coalesced:     st.Coalesced,
 		Compilers:     engine.Compilers(),
-	})
+	}
+	if len(st.Passes) > 0 {
+		resp.Passes = make(map[string]passStatsV2, len(st.Passes))
+		for name, ps := range st.Passes {
+			resp.Passes[name] = passStatsV2{
+				Runs:    ps.Runs,
+				TotalMs: float64(ps.Total) / float64(time.Millisecond),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -38,8 +38,18 @@ func CompileMurali(c *circuit.Circuit, topo *device.Topology) (*core.Result, err
 // CompileMuraliCtx is CompileMurali with cooperative cancellation: the
 // router checks ctx between iterations and aborts with ctx's error.
 func CompileMuraliCtx(ctx context.Context, c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
+	return CompileMuraliBasisCtx(ctx, c.DecomposeToBasis(), topo)
+}
+
+// CompileMuraliBasisCtx routes a circuit that is already in the native
+// basis (1Q + two-qubit gates), skipping the internal decomposition —
+// the entrypoint for pipeline stages whose decompose pass has run.
+// Gates of arity > 2 are rejected.
+func CompileMuraliBasisCtx(ctx context.Context, basis *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
 	start := time.Now()
-	basis := c.DecomposeToBasis()
+	if err := checkBasis(basis); err != nil {
+		return nil, err
+	}
 	place, err := placeSequential(basis, topo, 2)
 	if err != nil {
 		return nil, err
@@ -90,8 +100,16 @@ func CompileDai(c *circuit.Circuit, topo *device.Topology) (*core.Result, error)
 // CompileDaiCtx is CompileDai with cooperative cancellation (see
 // CompileMuraliCtx).
 func CompileDaiCtx(ctx context.Context, c *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
+	return CompileDaiBasisCtx(ctx, c.DecomposeToBasis(), topo)
+}
+
+// CompileDaiBasisCtx routes an already-basis circuit, skipping the
+// internal decomposition (see CompileMuraliBasisCtx).
+func CompileDaiBasisCtx(ctx context.Context, basis *circuit.Circuit, topo *device.Topology) (*core.Result, error) {
 	start := time.Now()
-	basis := c.DecomposeToBasis()
+	if err := checkBasis(basis); err != nil {
+		return nil, err
+	}
 	place, err := placeSequential(basis, topo, 2)
 	if err != nil {
 		return nil, err
@@ -191,6 +209,17 @@ func daiRoute(em *router.Emitter, g circuit.Gate) error {
 	}
 	other := q0 + q1 - mover
 	return em.RouteToTrap(mover, target, other)
+}
+
+// checkBasis rejects gates the routers cannot schedule directly; callers
+// of the *BasisCtx entrypoints decompose first.
+func checkBasis(c *circuit.Circuit) error {
+	for _, g := range c.Gates {
+		if g.Arity() > 2 {
+			return fmt.Errorf("baseline: gate %q has arity %d; decompose to the native basis first", g.Name, g.Arity())
+		}
+	}
+	return nil
 }
 
 // placeSequential is the baselines' shared initial mapping: first-use

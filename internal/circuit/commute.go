@@ -107,6 +107,11 @@ func NewCommutationDAG(c *Circuit) *DAG {
 			}
 		}
 	}
+	// Classical control flows through the register file, not the quantum
+	// wires: order conditioned gates after the measurements they may read
+	// (and measurements after pending conditioned reads). See
+	// forEachClassicalDep for the conservative model.
+	forEachClassicalDep(c, addEdge)
 	for i := 0; i < n; i++ {
 		if d.indeg[i] == 0 {
 			d.frontier = append(d.frontier, i)

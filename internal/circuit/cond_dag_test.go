@@ -1,0 +1,186 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// condGate builds a classically-controlled copy of g.
+func condGate(g Gate, creg string, width, value int) Gate {
+	g.Cond = &Condition{Creg: creg, Width: width, Value: value}
+	return g
+}
+
+func condCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	// measure q0 -> c; if(c==1) x q1; — no shared quantum wire, so only
+	// the classical register orders the two.
+	c := NewCircuit(2)
+	c.Measure(0)
+	if err := c.Append(condGate(New("x", []int{1}), "c", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDAGOrdersConditionAfterMeasurement(t *testing.T) {
+	c := condCircuit(t)
+	for name, d := range map[string]*DAG{"plain": NewDAG(c), "commutation": NewCommutationDAG(c)} {
+		if got := d.Frontier(); len(got) != 1 || got[0] != 0 {
+			t.Errorf("%s: frontier %v, want just the measurement", name, got)
+			continue
+		}
+		d.Complete(0)
+		if got := d.Frontier(); len(got) != 1 || got[0] != 1 {
+			t.Errorf("%s: frontier after measure = %v, want the conditioned gate", name, got)
+		}
+	}
+}
+
+func TestDAGOrdersMeasurementAfterConditionedRead(t *testing.T) {
+	// if(c==1) x q1; measure q0 -> c; — the write must not overtake the
+	// pending read (write-after-read).
+	c := NewCircuit(2)
+	if err := c.Append(condGate(New("x", []int{1}), "c", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Measure(0)
+	for name, d := range map[string]*DAG{"plain": NewDAG(c), "commutation": NewCommutationDAG(c)} {
+		if got := d.Frontier(); len(got) != 1 || got[0] != 0 {
+			t.Errorf("%s: frontier %v, want just the conditioned gate", name, got)
+		}
+	}
+}
+
+func TestDAGConditionedReadsStayUnordered(t *testing.T) {
+	// measure q0; if(c==1) x q1; if(c==2) x q2; — both reads depend on the
+	// measurement but not on each other.
+	c := NewCircuit(3)
+	c.Measure(0)
+	for q := 1; q <= 2; q++ {
+		if err := c.Append(condGate(New("x", []int{q}), "c", 2, q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, d := range map[string]*DAG{"plain": NewDAG(c), "commutation": NewCommutationDAG(c)} {
+		d.Complete(0)
+		if got := d.Frontier(); len(got) != 2 {
+			t.Errorf("%s: frontier after measure = %v, want both conditioned gates", name, got)
+		}
+	}
+}
+
+func TestDAGPlainMeasurementsStayUnordered(t *testing.T) {
+	// Measurements on distinct wires write distinct canonical bits; a
+	// condition-free circuit must not pay any new ordering.
+	c := NewCircuit(3)
+	c.Measure(0).Measure(1).Measure(2)
+	for name, d := range map[string]*DAG{"plain": NewDAG(c), "commutation": NewCommutationDAG(c)} {
+		if got := d.Frontier(); len(got) != 3 {
+			t.Errorf("%s: frontier %v, want all three measurements", name, got)
+		}
+	}
+}
+
+func TestDAGClassicalEdgeDedupAgainstWireEdge(t *testing.T) {
+	// measure q0; if(c==1) x q0; — wire and register order the same pair;
+	// the classical edge must not double-count the dependency.
+	c := NewCircuit(1)
+	c.Measure(0)
+	if err := c.Append(condGate(New("x", []int{0}), "c", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]*DAG{"plain": NewDAG(c), "commutation": NewCommutationDAG(c)} {
+		d.Complete(0)
+		if got := d.Frontier(); len(got) != 1 || got[0] != 1 {
+			t.Errorf("%s: frontier after measure = %v (double-counted indegree?)", name, got)
+		}
+		d.Complete(1)
+		if !d.Done() {
+			t.Errorf("%s: DAG not drained", name)
+		}
+	}
+}
+
+func TestDAGConditionedMeasureActsAsReadAndWrite(t *testing.T) {
+	// measure q0; if(c==1) measure q1; if(c==2) x q2; — the conditioned
+	// measurement reads (after gate 0) and writes (before gate 2).
+	c := NewCircuit(3)
+	c.Measure(0)
+	if err := c.Append(condGate(New("measure", []int{1}), "c", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(condGate(New("x", []int{2}), "c", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDAG(c)
+	if got := d.Frontier(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("frontier %v, want just the first measurement", got)
+	}
+	d.Complete(0)
+	if got := d.Frontier(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("frontier %v, want just the conditioned measurement", got)
+	}
+	d.Complete(1)
+	if got := d.Frontier(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("frontier %v, want the final conditioned gate", got)
+	}
+}
+
+// TestCondDAGDrainsInRandomOrder re-runs the greedy-drain property over
+// circuits mixing measurements and conditioned gates: every greedy order
+// completes, and conditioned gates never execute before a preceding
+// measurement.
+func TestCondDAGDrainsInRandomOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nq := 2 + r.Intn(4)
+		c := NewCircuit(nq)
+		for i := 0; i < 20; i++ {
+			q := r.Intn(nq)
+			switch r.Intn(4) {
+			case 0:
+				c.Measure(q)
+			case 1:
+				if err := c.Append(condGate(New("x", []int{q}), "c", 3, r.Intn(8))); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				c.H(q)
+			default:
+				a := r.Intn(nq)
+				b := r.Intn(nq - 1)
+				if b >= a {
+					b++
+				}
+				c.CX(a, b)
+			}
+		}
+		for name, d := range map[string]*DAG{"plain": NewDAG(c), "commutation": NewCommutationDAG(c)} {
+			done := make([]bool, len(c.Gates))
+			for !d.Done() {
+				f := d.Frontier()
+				if len(f) == 0 {
+					t.Fatalf("seed %d %s: empty frontier with %d gates left", seed, name, d.Remaining())
+				}
+				id := f[r.Intn(len(f))]
+				if c.Gates[id].Cond != nil {
+					for j := 0; j < id; j++ {
+						if c.Gates[j].Name == "measure" && !done[j] {
+							t.Fatalf("seed %d %s: conditioned gate %d ran before measurement %d", seed, name, id, j)
+						}
+					}
+				}
+				if c.Gates[id].Name == "measure" {
+					for j := 0; j < id; j++ {
+						if c.Gates[j].Cond != nil && !done[j] {
+							t.Fatalf("seed %d %s: measurement %d ran before conditioned gate %d", seed, name, id, j)
+						}
+					}
+				}
+				done[id] = true
+				d.Complete(id)
+			}
+		}
+	}
+}

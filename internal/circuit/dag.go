@@ -42,6 +42,7 @@ func NewDAG(c *Circuit) *DAG {
 			lastOnWire[q] = i
 		}
 	}
+	d.addClassicalDeps(c)
 	for i := 0; i < n; i++ {
 		if d.indeg[i] == 0 {
 			d.frontier = append(d.frontier, i)
@@ -49,6 +50,76 @@ func NewDAG(c *Circuit) *DAG {
 		}
 	}
 	return d
+}
+
+// addClassicalDeps folds the classical-register edges into a DAG whose
+// quantum-wire edges are already built, deduplicating against them (a
+// measurement and a condition often share a wire too). Called before the
+// frontier is derived; a no-op for circuits without classical control.
+func (d *DAG) addClassicalDeps(c *Circuit) {
+	hasCond := false
+	for _, g := range c.Gates {
+		if g.Cond != nil {
+			hasCond = true
+			break
+		}
+	}
+	if !hasCond {
+		return
+	}
+	seen := make(map[[2]int]bool)
+	for from, succs := range d.succ {
+		for _, to := range succs {
+			seen[[2]int{from, to}] = true
+		}
+	}
+	forEachClassicalDep(c, func(from, to int) {
+		k := [2]int{from, to}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		d.succ[from] = append(d.succ[from], to)
+		d.indeg[to]++
+	})
+}
+
+// forEachClassicalDep enumerates the dependencies flowing through the
+// classical register file, which the per-wire analyses cannot see: a
+// measurement writes a classical bit and a conditioned gate reads its
+// register. The IR does not record which register a measurement targets
+// (the canonical writer maps every measurement onto the flat register
+// c[n]), so the ordering is conservative: every conditioned gate depends
+// on every preceding measurement (read-after-write — the condition must
+// observe the freshest outcomes), and every measurement depends on every
+// preceding conditioned gate (write-after-read — the write must not
+// overtake a pending read). Conditioned gates stay mutually unordered
+// (reads commute), as do plain measurements (distinct wires, distinct
+// canonical bits). Cost is |measures|·|conditioned| edge callbacks, paid
+// only by circuits that use classical control; add must tolerate
+// duplicates but never sees from == to.
+func forEachClassicalDep(c *Circuit, add func(from, to int)) {
+	var measures, conds []int
+	for i, g := range c.Gates {
+		isCond := g.Cond != nil
+		isMeasure := g.Name == "measure"
+		if isCond {
+			for _, m := range measures {
+				add(m, i)
+			}
+		}
+		if isMeasure {
+			for _, r := range conds {
+				add(r, i)
+			}
+		}
+		if isCond {
+			conds = append(conds, i)
+		}
+		if isMeasure {
+			measures = append(measures, i)
+		}
+	}
 }
 
 // Gate returns the gate for node id.

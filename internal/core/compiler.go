@@ -19,13 +19,30 @@ type Result struct {
 	Initial *device.Placement
 	Final   *device.Placement
 	Counts  schedule.Counts
-	// CompileTime is wall-clock scheduling time (Fig. 15).
+	// CompileTime is wall-clock scheduling time (Fig. 15). For pipeline
+	// compilations it spans the whole pipeline; PassTimings itemises it.
 	CompileTime time.Duration
 	// Iterations counts heuristic search iterations; Fallbacks counts
 	// forced-routing interventions (0 on all paper benchmarks at default
 	// settings — present as a safety valve).
 	Iterations int
 	Fallbacks  int
+	// PassTimings itemises a pipeline compilation stage by stage, in
+	// execution order; empty for monolithic (non-pipeline) compilers. The
+	// timings travel with the result through the engine's cache, so a
+	// cache-hit response reports the timings of the compilation that
+	// produced it (like CompileTime).
+	PassTimings []PassTiming
+}
+
+// PassTiming records one pipeline pass's execution: its wall time and how
+// it changed the working gate count (source-circuit gates until a routing
+// pass produces a schedule, scheduled ops afterwards — so decomposition
+// shows basis expansion and routing shows transport overhead).
+type PassTiming struct {
+	Pass      string
+	Duration  time.Duration
+	GateDelta int
 }
 
 // compilation is the in-flight state of one Compile call.

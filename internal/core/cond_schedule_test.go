@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"ssync/internal/circuit"
+	"ssync/internal/device"
+	"ssync/internal/schedule"
+)
+
+// TestScheduleOrdersConditionAfterMeasurement pins the measure→condition
+// dependency end to end: the emitted op stream must execute a
+// measurement before any classically-controlled gate that may read its
+// outcome, on both the plain and the commutation-aware scheduler, even
+// though the two gates share no quantum wire.
+func TestScheduleOrdersConditionAfterMeasurement(t *testing.T) {
+	build := func() *circuit.Circuit {
+		c := circuit.NewCircuit(2)
+		c.H(1)
+		c.Measure(0)
+		g := circuit.New("x", []int{1})
+		g.Cond = &circuit.Condition{Creg: "c", Width: 2, Value: 1}
+		if err := c.Append(g); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for _, commuting := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.CommutationAware = commuting
+		res, err := Compile(cfg, build(), device.Linear(2, 4))
+		if err != nil {
+			t.Fatalf("commutation=%v: %v", commuting, err)
+		}
+		measureAt, condAt := -1, -1
+		for i, op := range res.Schedule.Ops {
+			switch {
+			case op.Kind == schedule.Measure && op.Qubits[0] == 0:
+				measureAt = i
+			case op.Kind == schedule.Gate1Q && op.Name == "x" && op.Qubits[0] == 1:
+				condAt = i
+			}
+		}
+		if measureAt < 0 || condAt < 0 {
+			t.Fatalf("commutation=%v: schedule lacks measure (%d) or conditioned gate (%d)",
+				commuting, measureAt, condAt)
+		}
+		if condAt < measureAt {
+			t.Errorf("commutation=%v: conditioned gate at op %d precedes measurement at op %d",
+				commuting, condAt, measureAt)
+		}
+	}
+}

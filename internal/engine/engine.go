@@ -14,6 +14,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"ssync/internal/core"
 	"ssync/internal/device"
 	"ssync/internal/mapping"
+	"ssync/internal/pass"
 )
 
 // Compiler names one of the built-in compilers.
@@ -53,8 +55,18 @@ type Request struct {
 	Topo *device.Topology
 	// Compiler names a registry entry ("murali", "dai", "ssync",
 	// "ssync-annealed", or anything added via Register). "" selects
-	// "ssync". Unknown names fail with *UnknownCompilerError.
+	// "ssync". Unknown names fail with *UnknownCompilerError. The
+	// built-in names are canned pass pipelines; requests wanting a
+	// different stage composition set Pipeline instead.
 	Compiler string
+	// Pipeline, when non-empty, compiles through an explicit staged
+	// pipeline instead of a named compiler: each Spec addresses the
+	// process-wide pass registry (pass.Register) with opaque JSON
+	// options. Mutually exclusive with Compiler. A built-in compiler
+	// name and its canned pipeline (pass.BuiltinPipeline) are the same
+	// compilation — identical passes, identical cache key — so the two
+	// request forms coalesce and share cached results.
+	Pipeline []pass.Spec
 	// Config tunes the S-SYNC scheduler family; nil means
 	// core.DefaultConfig(). The baselines ignore it.
 	Config *core.Config
@@ -77,8 +89,14 @@ type Response struct {
 	// Label echoes Request.Label.
 	Label string
 	// Compiler is the resolved registry name that handled the request
-	// ("" in the request resolves to "ssync" here).
+	// ("" in the request resolves to "ssync" here). Requests compiled
+	// through an explicit Pipeline have no compiler name; Pipeline
+	// identifies them instead.
 	Compiler string
+	// Pipeline lists the executed pipeline's pass names in stage order:
+	// the canned expansion for built-in compiler names, the request's
+	// explicit pipeline otherwise. Nil for opaque registered compilers.
+	Pipeline []string
 	// Key is the request's content address (zero on cacheless engines,
 	// which skip content addressing).
 	Key Key
@@ -91,6 +109,10 @@ type Response struct {
 	// Coalesced reports that this request attached to an identical
 	// in-flight compilation instead of running its own.
 	Coalesced bool
+	// PassTimings itemises a pipeline compilation per pass (wall time and
+	// gate-count delta). Cache hits report the timings of the compilation
+	// that produced the cached result. Empty for opaque compilers.
+	PassTimings []core.PassTiming
 }
 
 // Job is one compilation request in the PR-1 shape.
@@ -157,6 +179,19 @@ type Stats struct {
 	// Errors counts requests that finished with a non-nil error.
 	Errors uint64
 	Cache  CacheStats
+	// Passes aggregates executed pipeline stages by pass name: how often
+	// each pass ran and its cumulative wall time. Cache hits and
+	// coalesced waiters do not re-count — only compilations that actually
+	// executed contribute, mirroring Compiled.
+	Passes map[string]PassStats
+}
+
+// PassStats aggregates one pass's executions engine-wide.
+type PassStats struct {
+	// Runs counts executions of the pass across all compiled pipelines.
+	Runs uint64
+	// Total is the cumulative wall time across those runs.
+	Total time.Duration
 }
 
 // Options configures a new Engine.
@@ -190,11 +225,15 @@ type Engine struct {
 	compiled  atomic.Uint64
 	coalesced atomic.Uint64
 	errors    atomic.Uint64
+	// passMu guards passStats, the per-pass aggregation of executed
+	// pipeline stages.
+	passMu    sync.Mutex
+	passStats map[string]PassStats
 }
 
 // New returns an engine with the given options.
 func New(opt Options) *Engine {
-	e := &Engine{}
+	e := &Engine{passStats: make(map[string]PassStats)}
 	switch {
 	case opt.CacheSize < 0:
 		// caching disabled
@@ -219,17 +258,45 @@ func (e *Engine) Stats() Stats {
 	if e.cache != nil {
 		s.Cache = e.cache.Stats()
 	}
+	e.passMu.Lock()
+	if len(e.passStats) > 0 {
+		s.Passes = make(map[string]PassStats, len(e.passStats))
+		for name, ps := range e.passStats {
+			s.Passes[name] = ps
+		}
+	}
+	e.passMu.Unlock()
 	return s
 }
 
-// Do handles one compilation request: it resolves the compiler from the
-// registry, consults the finished-result cache, attaches to an identical
-// in-flight compilation when one exists (single-flight), and otherwise
-// compiles. Cancellation of ctx or expiry of the request's timeout
-// interrupts the compiler cooperatively — registered compilers poll the
-// context between scheduler iterations — so when Do returns, no work is
-// still running on this request's behalf and failed results are never
-// cached.
+// recordPasses folds one executed compilation's per-pass timings into the
+// engine-wide aggregation.
+func (e *Engine) recordPasses(timings []core.PassTiming) {
+	if len(timings) == 0 {
+		return
+	}
+	e.passMu.Lock()
+	if e.passStats == nil {
+		e.passStats = make(map[string]PassStats)
+	}
+	for _, t := range timings {
+		ps := e.passStats[t.Pass]
+		ps.Runs++
+		ps.Total += t.Duration
+		e.passStats[t.Pass] = ps
+	}
+	e.passMu.Unlock()
+}
+
+// Do handles one compilation request: it resolves the execution plan —
+// an explicit pass pipeline, a built-in compiler name's canned pipeline,
+// or an opaque registered compiler — consults the finished-result cache,
+// attaches to an identical in-flight compilation when one exists
+// (single-flight), and otherwise compiles. Cancellation of ctx or expiry
+// of the request's timeout interrupts the compiler cooperatively —
+// registered compilers and passes poll the context — so when Do returns,
+// no work is still running on this request's behalf and failed results
+// are never cached.
 func (e *Engine) Do(ctx context.Context, req Request) Response {
 	out := Response{Label: req.Label}
 	if req.Circuit == nil || req.Topo == nil {
@@ -239,8 +306,8 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	}
 	// Resolve up front so the Compiled counter only ever counts real
 	// compiler executions and unknown names fail as structured errors.
-	name, fn, err := resolveCompiler(req.Compiler)
-	out.Compiler = name
+	x, err := resolveExec(req)
+	out.Compiler, out.Pipeline = x.compiler, x.names
 	if err != nil {
 		out.Err = err
 		e.errors.Add(1)
@@ -260,13 +327,15 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	// request, so it is skipped entirely on cacheless engines; Key stays
 	// zero there and coalescing (which is keyed) is skipped with it.
 	if e.cache == nil {
-		out.Result, out.Err = e.compile(ctx, fn, req)
+		out.Result, out.Err = e.compile(ctx, x, req)
 		if out.Err != nil {
 			e.errors.Add(1)
+		} else {
+			out.PassTimings = out.Result.PassTimings
 		}
 		return out
 	}
-	key, err := RequestKey(req)
+	key, err := execKey(req, x)
 	if err != nil {
 		out.Err = err
 		e.errors.Add(1)
@@ -275,6 +344,7 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	out.Key = key
 	if res, ok := e.cache.Get(key); ok {
 		out.Result, out.CacheHit = res, true
+		out.PassTimings = res.PassTimings
 		return out
 	}
 	if err := ctx.Err(); err != nil {
@@ -287,7 +357,7 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	// no later request can ever start a second one: it either joins the
 	// flight or hits the cache.
 	out.Result, out.Err, out.Coalesced = e.flights.do(ctx, key, func() (*core.Result, error) {
-		res, err := e.compile(ctx, fn, req)
+		res, err := e.compile(ctx, x, req)
 		if err == nil {
 			e.cache.Put(key, res)
 		}
@@ -298,6 +368,8 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	}
 	if out.Err != nil {
 		e.errors.Add(1)
+	} else {
+		out.PassTimings = out.Result.PassTimings
 	}
 	return out
 }
@@ -310,11 +382,11 @@ func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
 }
 
 // compile acquires a worker slot (when the engine is bounded) and runs
-// the resolved compiler under ctx, which Do has already scoped to the
-// request timeout. Registered compilers are cooperatively cancellable,
-// so this runs on the calling goroutine and holds it until compilation
-// really stops.
-func (e *Engine) compile(ctx context.Context, fn CompilerFunc, req Request) (*core.Result, error) {
+// the resolved plan under ctx, which Do has already scoped to the
+// request timeout. Registered compilers and passes are cooperatively
+// cancellable, so this runs on the calling goroutine and holds it until
+// compilation really stops.
+func (e *Engine) compile(ctx context.Context, x exec, req Request) (*core.Result, error) {
 	if e.tokens != nil {
 		select {
 		case e.tokens <- struct{}{}:
@@ -323,25 +395,48 @@ func (e *Engine) compile(ctx context.Context, fn CompilerFunc, req Request) (*co
 			return nil, ctx.Err()
 		}
 	}
-	res, err := fn(ctx, req)
+	res, err := x.run(ctx, req)
 	e.compiled.Add(1)
+	if res != nil {
+		e.recordPasses(res.PassTimings)
+	}
 	if err != nil && ctx.Err() != nil {
 		err = fmt.Errorf("engine: request %q: %w", req.Label, err)
 	}
 	return res, err
 }
 
-// Direct is the uncached, unbounded compiler dispatch: it resolves
-// req.Compiler from the registry and runs it on the calling goroutine
-// with no engine involved. Engine.Do wraps it with caching, coalescing
-// and deadlines; serial callers (and the experiment runners' reference
-// path) may call it directly.
+// Limit runs fn while holding one of the engine's worker slots, so
+// CPU-bound request preparation (circuit generation, QASM parsing,
+// topology construction) competes for the same budget as compilation
+// instead of running unbounded on caller goroutines. On an unbounded
+// engine (Options.Workers <= 0) it simply runs fn. Do not call Limit
+// around Engine.Do: compilation acquires its own slot, and holding one
+// across that acquisition could deadlock a fully-loaded engine.
+func (e *Engine) Limit(ctx context.Context, fn func() error) error {
+	if e.tokens != nil {
+		select {
+		case e.tokens <- struct{}{}:
+			defer func() { <-e.tokens }()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return fn()
+}
+
+// Direct is the uncached, unbounded dispatch: it resolves the request's
+// execution plan (explicit pipeline, canned pipeline, or registered
+// compiler) and runs it on the calling goroutine with no engine
+// involved. Engine.Do wraps it with caching, coalescing and deadlines;
+// serial callers (and the experiment runners' reference path) may call
+// it directly.
 func Direct(req Request) (*core.Result, error) {
-	_, fn, err := resolveCompiler(req.Compiler)
+	x, err := resolveExec(req)
 	if err != nil {
 		return nil, err
 	}
-	return fn(context.Background(), req)
+	return x.run(context.Background(), req)
 }
 
 // CompileDirect is Direct over the legacy job shape.

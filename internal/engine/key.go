@@ -6,14 +6,17 @@ import (
 	"fmt"
 	"io"
 
+	"ssync/internal/pass"
 	"ssync/internal/qasm"
 )
 
 // Key content-addresses one compilation request. Two requests share a key
-// exactly when their canonical OpenQASM, device layout, registry compiler
-// name and configuration (including the annealer seed, for compilers that
-// anneal) coincide — so a key hit is a proof the cached schedule answers
-// the new request.
+// exactly when their canonical OpenQASM, device layout, and execution
+// plan — the full resolved pass pipeline with per-pass options, or the
+// opaque compiler name with its configuration — coincide, so a key hit is
+// a proof the cached schedule answers the new request. Built-in compiler
+// names key as their canned pipelines, so Request.Compiler "ssync" and
+// the equivalent explicit Request.Pipeline share one key.
 type Key [sha256.Size]byte
 
 // String renders the key as lowercase hex.
@@ -21,26 +24,37 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
 // keyVersion tags the hash layout; bump it whenever the serialisation
 // below changes so stale external key material can never alias.
-// v2: compiler field is the open registry name, and the annealer
-// configuration (with its deterministic seed) joined the hash.
-const keyVersion = "ssync-req-v2"
+// v3: requests hash their resolved pass pipeline (name + canonical
+// options signature per stage) instead of a compiler name; built-in
+// names expand to their canned pipelines first. Opaque registered
+// compilers keep the v2-shaped name+config section under the new
+// version tag.
+const keyVersion = "ssync-req-v3"
 
 // RequestKey computes the content address of a request. The circuit
 // enters via its canonical OpenQASM 2.0 rendering (qasm.Write), which is
 // stable across gate-order-preserving re-parses; the topology enters via
-// its name plus full trap/segment layout; the compiler enters via its
-// resolved registry name — so distinct registry entries can never collide
-// — and the S-SYNC/annealer configurations enter via their Go-syntax
-// renderings (deterministic field order). The built-in baselines take no
-// configuration, so theirs hashes as a fixed token.
+// its name plus full trap/segment layout; the execution plan enters via
+// the resolved pipeline — every pass name and canonical options
+// signature, stage by stage — or, for opaque registered compilers, the
+// registry name. The S-SYNC/annealer configurations enter via their
+// Go-syntax renderings (deterministic field order), because pipeline
+// passes read them as defaults.
 func RequestKey(req Request) (Key, error) {
+	x, err := resolveExec(req)
+	if err != nil {
+		return Key{}, err
+	}
+	return execKey(req, x)
+}
+
+// execKey hashes a request against its already-resolved execution plan;
+// Engine.Do uses it to key exactly what it will run without resolving
+// twice.
+func execKey(req Request, x exec) (Key, error) {
 	var k Key
 	if req.Circuit == nil || req.Topo == nil {
 		return k, fmt.Errorf("engine: cannot key a request without circuit and topology")
-	}
-	name := req.Compiler
-	if name == "" {
-		name = CompilerSSync
 	}
 	h := sha256.New()
 	io.WriteString(h, keyVersion)
@@ -56,14 +70,43 @@ func RequestKey(req Request) (Key, error) {
 	for _, s := range req.Topo.Segments {
 		fmt.Fprintf(h, "|s%d-%d:%d,%d:j%d:h%d", s.A, s.B, int(s.EndA), int(s.EndB), s.Junctions, s.Hops)
 	}
-	io.WriteString(h, "\x00compiler\x00")
-	// Length-prefix the open-ended registry name for the same reason as
-	// the topology name above.
-	fmt.Fprintf(h, "%d\x00%s", len(name), name)
-	io.WriteString(h, "\x00config\x00")
-	io.WriteString(h, configSignature(name, req))
-	io.WriteString(h, "\x00anneal\x00")
-	io.WriteString(h, annealSignature(name, req))
+	if x.passes != nil {
+		// Pipelines hash stage by stage: the pass name plus its canonical
+		// options signature (pass.Signature), each length-prefixed so
+		// crafted names cannot alias stage boundaries. The resolved
+		// scheduler/annealer configurations join the hash only when some
+		// stage declares it reads them (pass.ConfigUser; custom passes
+		// are assumed to read both), so a baseline pipeline is not
+		// fragmented by an irrelevant Config or Anneal on the request.
+		io.WriteString(h, "\x00pipeline\x00")
+		for _, p := range x.passes {
+			name, sig := p.Name(), pass.Signature(p)
+			fmt.Fprintf(h, "%d\x00%s%d\x00%s", len(name), name, len(sig), sig)
+		}
+		use := pass.PipelineUse(x.passes)
+		io.WriteString(h, "\x00config\x00")
+		if use.Config {
+			fmt.Fprintf(h, "%#v", ssyncConfig(req))
+		} else {
+			io.WriteString(h, "none")
+		}
+		io.WriteString(h, "\x00anneal\x00")
+		if use.Anneal {
+			fmt.Fprintf(h, "%#v", annealConfig(req))
+		} else {
+			io.WriteString(h, "none")
+		}
+	} else {
+		// Opaque registered compilers hash by registry name — distinct
+		// entries can never collide — plus the resolved configurations
+		// they may read from the request.
+		io.WriteString(h, "\x00compiler\x00")
+		fmt.Fprintf(h, "%d\x00%s", len(x.compiler), x.compiler)
+		io.WriteString(h, "\x00config\x00")
+		fmt.Fprintf(h, "%#v", ssyncConfig(req))
+		io.WriteString(h, "\x00anneal\x00")
+		io.WriteString(h, opaqueAnnealSignature(req))
+	}
 	h.Sum(k[:0])
 	return k, nil
 }
@@ -73,27 +116,12 @@ func RequestKey(req Request) (Key, error) {
 // Deprecated: use RequestKey.
 func JobKey(j Job) (Key, error) { return RequestKey(j.Request()) }
 
-// configSignature renders the request's resolved scheduler configuration.
-// The built-in baselines take no configuration, so an explicit Config on
-// their requests does not fragment the cache; every other compiler —
-// including custom registrations, which may read Config — hashes the
-// resolved value. %#v renders struct fields in declaration order with
-// full float precision, giving a deterministic signature without
-// reflection plumbing of our own.
-func configSignature(name string, req Request) string {
-	if name == CompilerMurali || name == CompilerDai {
-		return "none"
-	}
-	return fmt.Sprintf("%#v", ssyncConfig(req))
-}
-
-// annealSignature renders the resolved annealer configuration — seed
-// included, which is what makes annealed results cacheable at all — for
-// the annealed compiler and for any request that sets Anneal explicitly
+// opaqueAnnealSignature renders the resolved annealer configuration —
+// seed included — for opaque-compiler requests that set Anneal explicitly
 // (a custom compiler may read it). Everything else hashes a fixed token,
-// so plain ssync/baseline requests are unaffected.
-func annealSignature(name string, req Request) string {
-	if name == CompilerSSyncAnnealed || req.Anneal != nil {
+// so plain custom-compiler requests are unaffected by annealer defaults.
+func opaqueAnnealSignature(req Request) string {
+	if req.Anneal != nil {
 		return fmt.Sprintf("%#v", annealConfig(req))
 	}
 	return "none"

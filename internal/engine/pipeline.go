@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"ssync/internal/core"
+	"ssync/internal/pass"
+)
+
+// exec is a resolved request: exactly one of passes (pipeline execution —
+// explicit Request.Pipeline or the canned expansion of a built-in
+// compiler name) and fn (an opaque registered CompilerFunc) is set.
+type exec struct {
+	// compiler is the resolved compiler name; "" for explicit pipelines,
+	// which are addressed by their stages rather than a name.
+	compiler string
+	passes   []pass.Pass
+	// names lists the pipeline's pass names, in order; nil for opaque
+	// compilers.
+	names []string
+	fn    CompilerFunc
+}
+
+// resolveExec validates and resolves a request to its execution plan
+// without running anything. Both Engine.Do and RequestKey go through it,
+// so a request is keyed exactly as it would execute — in particular a
+// built-in compiler name and its equivalent explicit pipeline resolve to
+// identical pass instances and therefore identical keys.
+func resolveExec(req Request) (exec, error) {
+	if len(req.Pipeline) > 0 {
+		if req.Compiler != "" {
+			return exec{}, fmt.Errorf(
+				"engine: request %q sets both Compiler (%q) and Pipeline; choose one", req.Label, req.Compiler)
+		}
+		passes, err := pass.Build(req.Pipeline)
+		if err != nil {
+			return exec{}, err
+		}
+		return exec{passes: passes, names: passNames(passes)}, nil
+	}
+	name := req.Compiler
+	if name == "" {
+		name = CompilerSSync
+	}
+	if specs, ok := pass.BuiltinPipeline(name); ok {
+		passes, err := pass.Build(specs)
+		if err != nil {
+			return exec{}, err
+		}
+		return exec{compiler: name, passes: passes, names: passNames(passes)}, nil
+	}
+	if fn, ok := lookupFunc(name); ok {
+		return exec{compiler: name, fn: fn}, nil
+	}
+	return exec{}, &UnknownCompilerError{Name: name, Known: Compilers()}
+}
+
+func passNames(passes []pass.Pass) []string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// run executes the resolved plan: the pipeline over a fresh State seeded
+// from the request, or the opaque compiler directly.
+func (x exec) run(ctx context.Context, req Request) (*core.Result, error) {
+	if x.fn != nil {
+		return x.fn(ctx, req)
+	}
+	st := &pass.State{
+		Source:  req.Circuit,
+		Circuit: req.Circuit,
+		Topo:    req.Topo,
+		Config:  ssyncConfig(req),
+		Anneal:  annealConfig(req),
+	}
+	return pass.Run(ctx, x.passes, st)
+}

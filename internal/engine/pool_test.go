@@ -7,12 +7,16 @@ import (
 	"testing"
 )
 
-// stripTimes zeroes the wall-clock field so schedules can be compared
-// structurally across runs.
+// stripTimes zeroes the wall-clock fields so schedules can be compared
+// structurally across runs (pass names and gate deltas stay — they are
+// deterministic).
 func stripTimes(results []JobResult) {
 	for _, r := range results {
 		if r.Res != nil {
 			r.Res.CompileTime = 0
+			for i := range r.Res.PassTimings {
+				r.Res.PassTimings[i].Duration = 0
+			}
 		}
 	}
 }

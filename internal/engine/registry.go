@@ -7,20 +7,27 @@ import (
 	"strings"
 	"sync"
 
-	"ssync/internal/baseline"
 	"ssync/internal/core"
 	"ssync/internal/mapping"
+	"ssync/internal/pass"
 )
 
-// CompilerFunc is one pluggable compiler: it schedules req.Circuit onto
-// req.Topo and returns the result. Implementations must be deterministic
-// for identical requests (the engine content-addresses results by request)
-// and should poll ctx between scheduler iterations so cancellation and
-// per-request timeouts take effect.
+// CompilerFunc is one pluggable opaque compiler: it schedules req.Circuit
+// onto req.Topo and returns the result. Implementations must be
+// deterministic for identical requests (the engine content-addresses
+// results by request) and should poll ctx between scheduler iterations so
+// cancellation and per-request timeouts take effect.
+//
+// The four built-in compilers are not CompilerFuncs: they are canned pass
+// pipelines (pass.BuiltinPipeline), so their stages are individually
+// addressable from Request.Pipeline. Register a CompilerFunc when a
+// strategy genuinely is monolithic; register passes (pass.Register) when
+// it decomposes into stages.
 type CompilerFunc func(ctx context.Context, req Request) (*core.Result, error)
 
 // Built-in registry names. The zero/empty Request.Compiler resolves to
-// CompilerSSync.
+// CompilerSSync. Each names a canned pass pipeline — see
+// pass.BuiltinPipeline for the staged equivalents.
 const (
 	// CompilerMurali is the Murali et al. (ISCA 2020) baseline.
 	CompilerMurali = "murali"
@@ -46,9 +53,9 @@ func (e *UnknownCompilerError) Error() string {
 		e.Name, strings.Join(e.Known, ", "))
 }
 
-// registry is the process-wide compiler table. A plain mutex (not RWMutex)
-// keeps it simple; lookups copy the function pointer out under the lock,
-// so compilation itself never holds it.
+// registry is the process-wide table of opaque compilers. A plain mutex
+// (not RWMutex) keeps it simple; lookups copy the function pointer out
+// under the lock, so compilation itself never holds it.
 var registry = struct {
 	sync.Mutex
 	m map[string]CompilerFunc
@@ -57,13 +64,17 @@ var registry = struct {
 // Register adds a named compiler to the process-wide registry, making it
 // addressable from every Engine via Request.Compiler (and from ssyncd's
 // /v2 endpoints). Names are case-sensitive, must be non-empty, and may
-// not collide with an existing entry; fn must be non-nil.
+// not collide with an existing entry or a built-in canned pipeline; fn
+// must be non-nil.
 func Register(name string, fn CompilerFunc) error {
 	if name == "" {
 		return fmt.Errorf("engine: Register with empty compiler name")
 	}
 	if fn == nil {
 		return fmt.Errorf("engine: Register(%q) with nil CompilerFunc", name)
+	}
+	if _, canned := pass.BuiltinPipeline(name); canned {
+		return fmt.Errorf("engine: compiler %q is a built-in pipeline", name)
 	}
 	registry.Lock()
 	defer registry.Unlock()
@@ -82,38 +93,41 @@ func MustRegister(name string, fn CompilerFunc) {
 	}
 }
 
-// Compilers returns the registered compiler names, sorted.
+// Compilers returns the addressable compiler names — the built-in canned
+// pipelines plus every registered CompilerFunc — sorted.
 func Compilers() []string {
+	builtins, _ := pass.BuiltinPipelines()
 	registry.Lock()
-	defer registry.Unlock()
-	names := make([]string, 0, len(registry.m))
+	names := append([]string(nil), builtins...)
 	for name := range registry.m {
 		names = append(names, name)
 	}
+	registry.Unlock()
 	sort.Strings(names)
 	return names
 }
 
-// Registered reports whether name (after empty-name normalisation) is in
-// the registry.
+// Registered reports whether name (after empty-name normalisation) is
+// addressable as a compiler.
 func Registered(name string) bool {
-	_, _, err := resolveCompiler(name)
-	return err == nil
-}
-
-// resolveCompiler normalises the empty name to CompilerSSync and looks the
-// result up, returning the resolved name alongside the implementation.
-func resolveCompiler(name string) (string, CompilerFunc, error) {
 	if name == "" {
-		name = CompilerSSync
+		return true // resolves to CompilerSSync
+	}
+	if _, canned := pass.BuiltinPipeline(name); canned {
+		return true
 	}
 	registry.Lock()
+	defer registry.Unlock()
+	_, ok := registry.m[name]
+	return ok
+}
+
+// lookupFunc copies a registered CompilerFunc out of the registry.
+func lookupFunc(name string) (CompilerFunc, bool) {
+	registry.Lock()
+	defer registry.Unlock()
 	fn, ok := registry.m[name]
-	registry.Unlock()
-	if !ok {
-		return name, nil, &UnknownCompilerError{Name: name, Known: Compilers()}
-	}
-	return name, fn, nil
+	return fn, ok
 }
 
 // ssyncConfig resolves a request's S-SYNC configuration (nil means the
@@ -133,25 +147,4 @@ func annealConfig(req Request) mapping.AnnealConfig {
 		return *req.Anneal
 	}
 	return mapping.DefaultAnnealConfig()
-}
-
-func init() {
-	MustRegister(CompilerMurali, func(ctx context.Context, req Request) (*core.Result, error) {
-		return baseline.CompileMuraliCtx(ctx, req.Circuit, req.Topo)
-	})
-	MustRegister(CompilerDai, func(ctx context.Context, req Request) (*core.Result, error) {
-		return baseline.CompileDaiCtx(ctx, req.Circuit, req.Topo)
-	})
-	MustRegister(CompilerSSync, func(ctx context.Context, req Request) (*core.Result, error) {
-		return core.CompileCtx(ctx, ssyncConfig(req), req.Circuit, req.Topo)
-	})
-	MustRegister(CompilerSSyncAnnealed, func(ctx context.Context, req Request) (*core.Result, error) {
-		cfg := ssyncConfig(req)
-		basis := req.Circuit.DecomposeToBasis()
-		place, err := mapping.InitialAnnealed(cfg.Mapping, annealConfig(req), basis, req.Topo)
-		if err != nil {
-			return nil, err
-		}
-		return core.CompileWithPlacementCtx(ctx, cfg, basis, req.Topo, place)
-	})
 }

@@ -107,6 +107,18 @@ func RunCSV(name string, opt Options) (string, error) {
 				r.App, r.Topo, r.Variant, itoa(r.Shuttles), itoa(r.Swaps), ftoa(r.Success), itoa(r.Fallbacks),
 			})
 		}
+	case "passes":
+		_, rows, err := PassBreakdown(opt)
+		if err != nil {
+			return "", err
+		}
+		header = []string{"application", "topology", "compiler", "stage", "pass", "time_ms", "gate_delta"}
+		for _, r := range rows {
+			records = append(records, []string{
+				r.App, r.Topo, r.Compiler, itoa(r.Stage), r.Pass,
+				ftoa(float64(r.Duration.Nanoseconds()) / 1e6), itoa(r.GateDelta),
+			})
+		}
 	default:
 		return "", fmt.Errorf("exp: experiment %q has no CSV form", name)
 	}

@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPassBreakdownCoversEveryCannedStage(t *testing.T) {
+	out, rows, err := PassBreakdown(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, r := range rows {
+		stages[r.Compiler]++
+		if r.Pass == "" {
+			t.Errorf("%s stage %d has no pass name", r.Compiler, r.Stage)
+		}
+		if r.Duration < 0 {
+			t.Errorf("%s/%s negative duration", r.Compiler, r.Pass)
+		}
+	}
+	want := map[string]int{"murali": 2, "dai": 2, "ssync": 3, "ssync-annealed": 3}
+	for comp, n := range want {
+		if stages[comp] != n {
+			t.Errorf("%s: %d stages, want %d", comp, stages[comp], n)
+		}
+	}
+	for _, pass := range []string{"decompose-basis", "place-greedy", "place-annealed", "route-ssync"} {
+		if !strings.Contains(out, pass) {
+			t.Errorf("report lacks pass %q:\n%s", pass, out)
+		}
+	}
+	if _, err := RunCSV("passes", Options{Quick: true}); err != nil {
+		t.Errorf("passes CSV: %v", err)
+	}
+}

@@ -93,6 +93,9 @@ func Run(name string, opt Options) (string, error) {
 	case "ablation":
 		s, _, err := Ablation(opt)
 		return s, err
+	case "passes":
+		s, _, err := PassBreakdown(opt)
+		return s, err
 	case "all":
 		var b strings.Builder
 		for _, n := range AllExperiments {
@@ -105,14 +108,14 @@ func Run(name string, opt Options) (string, error) {
 		}
 		return b.String(), nil
 	}
-	return "", fmt.Errorf("exp: unknown experiment %q (want table1, table2, fig8..fig16, ablation or all)", name)
+	return "", fmt.Errorf("exp: unknown experiment %q (want table1, table2, fig8..fig16, ablation, passes or all)", name)
 }
 
 // AllExperiments lists every runnable experiment in report order. The
-// trailing "ablation" entry is this repository's own design-choice study,
-// not a paper figure.
+// trailing "ablation" and "passes" entries are this repository's own
+// studies (design choices; pipeline-stage breakdown), not paper figures.
 var AllExperiments = []string{
 	"table1", "table2", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-	"ablation",
+	"ablation", "passes",
 }

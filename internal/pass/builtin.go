@@ -1,0 +1,340 @@
+package pass
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ssync/internal/baseline"
+	"ssync/internal/core"
+	"ssync/internal/mapping"
+	"ssync/internal/sim"
+)
+
+// Built-in pass names. The four built-in compilers are canned pipelines
+// over exactly these passes (BuiltinPipeline).
+const (
+	// DecomposeBasis rewrites the working circuit into the native basis
+	// (single-qubit gates + cx/swap).
+	DecomposeBasis = "decompose-basis"
+	// PlaceGreedy computes the paper's two-level initial mapping
+	// (Sec. 3.4) under the state's mapping configuration; options may
+	// override the first-level strategy.
+	PlaceGreedy = "place-greedy"
+	// PlaceAnnealed computes the simulated-annealing initial mapping;
+	// options may override the deterministic seed.
+	PlaceAnnealed = "place-annealed"
+	// RouteSSync runs the S-SYNC scheduler (Algorithm 1) from the current
+	// placement.
+	RouteSSync = "route-ssync"
+	// RouteMurali runs the Murali et al. (ISCA 2020) baseline router,
+	// which performs its own sequential placement.
+	RouteMurali = "route-murali"
+	// RouteDai runs the Dai et al. (IEEE TQE 2024) baseline router, which
+	// performs its own sequential placement.
+	RouteDai = "route-dai"
+	// VerifyStatevec proves the compiled schedule preserves the source
+	// circuit's semantics under dense state-vector simulation.
+	VerifyStatevec = "verify-statevec"
+)
+
+// decodeOptions strictly decodes a pass's options JSON into dst: nil,
+// empty and "null" documents select defaults, unknown fields are
+// rejected.
+func decodeOptions(options json.RawMessage, dst any) error {
+	if len(options) == 0 || bytes.Equal(bytes.TrimSpace(options), []byte("null")) {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(options))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad options: %w", err)
+	}
+	return nil
+}
+
+// noOptions rejects any non-empty options document, for passes that take
+// none.
+func noOptions(name string, options json.RawMessage) error {
+	var probe struct{}
+	if err := decodeOptions(options, &probe); err != nil {
+		return fmt.Errorf("%s takes no options: %w", name, err)
+	}
+	return nil
+}
+
+// ---- decompose-basis ----
+
+type decomposePass struct{}
+
+func (decomposePass) Name() string         { return DecomposeBasis }
+func (decomposePass) ConfigUse() ConfigUse { return ConfigUse{} }
+
+func (decomposePass) Run(ctx context.Context, st *State) error {
+	st.Circuit = st.Circuit.DecomposeToBasis()
+	return nil
+}
+
+// ---- place-greedy ----
+
+// placeGreedyOptions is the wire form of place-greedy's options.
+type placeGreedyOptions struct {
+	// Mapping overrides the first-level strategy ("gathering",
+	// "even-divided", "sta"); empty keeps the state's configuration.
+	Mapping string `json:"mapping,omitempty"`
+}
+
+type placeGreedyPass struct {
+	Strategy    mapping.Strategy
+	HasStrategy bool
+}
+
+func (placeGreedyPass) Name() string { return PlaceGreedy }
+
+// ConfigUse: the mapping sub-config is read even when the strategy is
+// overridden (alpha/beta/lookahead still come from the state).
+func (placeGreedyPass) ConfigUse() ConfigUse { return ConfigUse{Config: true} }
+
+func (p placeGreedyPass) Run(ctx context.Context, st *State) error {
+	cfg := st.Config.Mapping
+	if p.HasStrategy {
+		cfg.Strategy = p.Strategy
+	}
+	place, err := mapping.Initial(cfg, st.Circuit, st.Topo)
+	if err != nil {
+		return err
+	}
+	st.Placement = place
+	return nil
+}
+
+// ---- place-annealed ----
+
+// placeAnnealedOptions is the wire form of place-annealed's options.
+type placeAnnealedOptions struct {
+	// Seed overrides the annealer's deterministic seed; nil keeps the
+	// state's configuration.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+type placeAnnealedPass struct {
+	Seed    int64
+	HasSeed bool
+}
+
+func (placeAnnealedPass) Name() string { return PlaceAnnealed }
+
+// ConfigUse: reads the mapping sub-config and the annealer settings (a
+// seed override still leaves the other annealer fields to the state).
+func (placeAnnealedPass) ConfigUse() ConfigUse { return ConfigUse{Config: true, Anneal: true} }
+
+func (p placeAnnealedPass) Run(ctx context.Context, st *State) error {
+	ann := st.Anneal
+	if p.HasSeed {
+		ann.Seed = p.Seed
+	}
+	place, err := mapping.InitialAnnealed(st.Config.Mapping, ann, st.Circuit, st.Topo)
+	if err != nil {
+		return err
+	}
+	st.Placement = place
+	return nil
+}
+
+// ---- route-ssync ----
+
+// routeSSyncOptions is the wire form of route-ssync's options.
+type routeSSyncOptions struct {
+	// Commutation overrides Config.CommutationAware; nil keeps the
+	// state's configuration.
+	Commutation *bool `json:"commutation,omitempty"`
+}
+
+type routeSSyncPass struct {
+	Commutation    bool
+	HasCommutation bool
+}
+
+func (routeSSyncPass) Name() string { return RouteSSync }
+
+func (routeSSyncPass) ConfigUse() ConfigUse { return ConfigUse{Config: true} }
+
+func (p routeSSyncPass) Run(ctx context.Context, st *State) error {
+	if st.Placement == nil {
+		return fmt.Errorf("%s needs an initial placement; add %s or %s first",
+			RouteSSync, PlaceGreedy, PlaceAnnealed)
+	}
+	cfg := st.Config
+	if p.HasCommutation {
+		cfg.CommutationAware = p.Commutation
+	}
+	res, err := core.CompileWithPlacementCtx(ctx, cfg, st.Circuit, st.Topo, st.Placement)
+	if err != nil {
+		return err
+	}
+	st.Result = res
+	return nil
+}
+
+// ---- route-murali / route-dai ----
+
+// The baseline routers are self-contained: they compute their own
+// sequential placement (the published algorithms fix it) and ignore any
+// placement an earlier pass produced. They route the working circuit as
+// given — run decompose-basis first (arity > 2 gates are rejected), so
+// the stage timing measures routing alone.
+
+type routeMuraliPass struct{}
+
+func (routeMuraliPass) Name() string         { return RouteMurali }
+func (routeMuraliPass) ConfigUse() ConfigUse { return ConfigUse{} }
+
+func (routeMuraliPass) Run(ctx context.Context, st *State) error {
+	res, err := baseline.CompileMuraliBasisCtx(ctx, st.Circuit, st.Topo)
+	if err != nil {
+		return err
+	}
+	st.Result = res
+	return nil
+}
+
+type routeDaiPass struct{}
+
+func (routeDaiPass) Name() string         { return RouteDai }
+func (routeDaiPass) ConfigUse() ConfigUse { return ConfigUse{} }
+
+func (routeDaiPass) Run(ctx context.Context, st *State) error {
+	res, err := baseline.CompileDaiBasisCtx(ctx, st.Circuit, st.Topo)
+	if err != nil {
+		return err
+	}
+	st.Result = res
+	return nil
+}
+
+// ---- verify-statevec ----
+
+// verifyOptions is the wire form of verify-statevec's options.
+type verifyOptions struct {
+	// Seed selects the random product input state; 0 (the default) is a
+	// fixed, valid seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+type verifyStatevecPass struct {
+	Seed int64
+}
+
+func (verifyStatevecPass) Name() string         { return VerifyStatevec }
+func (verifyStatevecPass) ConfigUse() ConfigUse { return ConfigUse{} }
+
+func (p verifyStatevecPass) Run(ctx context.Context, st *State) error {
+	if st.Result == nil {
+		return fmt.Errorf("%s needs a compiled schedule; add a routing pass first", VerifyStatevec)
+	}
+	return sim.VerifySchedule(st.Source, st.Result.Schedule, p.Seed)
+}
+
+// ---- canned pipelines ----
+
+// builtinPipelines maps the four built-in compiler names to their staged
+// equivalents. The engine expands Request.Compiler through this table, so
+// a canned name and its explicit pipeline are literally the same
+// compilation — same passes, same cache key.
+var builtinPipelines = map[string][]Spec{
+	"murali":         {{Name: DecomposeBasis}, {Name: RouteMurali}},
+	"dai":            {{Name: DecomposeBasis}, {Name: RouteDai}},
+	"ssync":          {{Name: DecomposeBasis}, {Name: PlaceGreedy}, {Name: RouteSSync}},
+	"ssync-annealed": {{Name: DecomposeBasis}, {Name: PlaceAnnealed}, {Name: RouteSSync}},
+}
+
+// builtinOrder lists the canned pipeline names deterministically.
+var builtinOrder = []string{"murali", "dai", "ssync", "ssync-annealed"}
+
+// BuiltinPipeline returns the canned pipeline behind a built-in compiler
+// name, or ok=false for names that are not canned pipelines. Callers own
+// the returned slice.
+func BuiltinPipeline(name string) ([]Spec, bool) {
+	specs, ok := builtinPipelines[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]Spec(nil), specs...), true
+}
+
+// BuiltinPipelines returns every canned compiler name → pipeline, in the
+// deterministic order murali, dai, ssync, ssync-annealed.
+func BuiltinPipelines() (names []string, pipelines [][]Spec) {
+	for _, n := range builtinOrder {
+		names = append(names, n)
+		p, _ := BuiltinPipeline(n)
+		pipelines = append(pipelines, p)
+	}
+	return names, pipelines
+}
+
+func init() {
+	MustRegister(DecomposeBasis, func(options json.RawMessage) (Pass, error) {
+		if err := noOptions(DecomposeBasis, options); err != nil {
+			return nil, err
+		}
+		return decomposePass{}, nil
+	})
+	MustRegister(PlaceGreedy, func(options json.RawMessage) (Pass, error) {
+		var o placeGreedyOptions
+		if err := decodeOptions(options, &o); err != nil {
+			return nil, err
+		}
+		p := placeGreedyPass{}
+		if o.Mapping != "" {
+			strat, err := mapping.ParseStrategy(o.Mapping)
+			if err != nil {
+				return nil, err
+			}
+			p.Strategy, p.HasStrategy = strat, true
+		}
+		return p, nil
+	})
+	MustRegister(PlaceAnnealed, func(options json.RawMessage) (Pass, error) {
+		var o placeAnnealedOptions
+		if err := decodeOptions(options, &o); err != nil {
+			return nil, err
+		}
+		p := placeAnnealedPass{}
+		if o.Seed != nil {
+			p.Seed, p.HasSeed = *o.Seed, true
+		}
+		return p, nil
+	})
+	MustRegister(RouteSSync, func(options json.RawMessage) (Pass, error) {
+		var o routeSSyncOptions
+		if err := decodeOptions(options, &o); err != nil {
+			return nil, err
+		}
+		p := routeSSyncPass{}
+		if o.Commutation != nil {
+			p.Commutation, p.HasCommutation = *o.Commutation, true
+		}
+		return p, nil
+	})
+	MustRegister(RouteMurali, func(options json.RawMessage) (Pass, error) {
+		if err := noOptions(RouteMurali, options); err != nil {
+			return nil, err
+		}
+		return routeMuraliPass{}, nil
+	})
+	MustRegister(RouteDai, func(options json.RawMessage) (Pass, error) {
+		if err := noOptions(RouteDai, options); err != nil {
+			return nil, err
+		}
+		return routeDaiPass{}, nil
+	})
+	MustRegister(VerifyStatevec, func(options json.RawMessage) (Pass, error) {
+		var o verifyOptions
+		if err := decodeOptions(options, &o); err != nil {
+			return nil, err
+		}
+		return verifyStatevecPass{Seed: o.Seed}, nil
+	})
+}

@@ -19,6 +19,13 @@
 // "ssync-annealed", plus anything added via RegisterCompiler); identical
 // requests are served from a content-addressed cache, and concurrent
 // identical requests coalesce into one compilation.
+//
+// The built-in compilers are canned pass pipelines: decompose, place,
+// route and verify stages registered in an open pass registry
+// (RegisterPass). A CompileRequest may compose them explicitly via its
+// Pipeline field — swap the placer, skip decomposition, append
+// verification — and a built-in name keys identically to its canned
+// pipeline, so both forms share cache entries.
 package ssync
 
 import (
@@ -32,6 +39,7 @@ import (
 	"ssync/internal/exp"
 	"ssync/internal/mapping"
 	"ssync/internal/noise"
+	"ssync/internal/pass"
 	"ssync/internal/qasm"
 	"ssync/internal/schedule"
 	"ssync/internal/sim"
@@ -291,6 +299,69 @@ func Compilers() []string { return engine.Compilers() }
 // coalescing of concurrent identical requests.
 func Do(ctx context.Context, req CompileRequest) CompileResponse {
 	return DefaultEngine().Do(ctx, req)
+}
+
+// ---- composable pass pipelines ----
+
+// Pass is one pipeline stage: a named, deterministic transformation of
+// the shared PassState. Register implementations with RegisterPass to
+// make them addressable from CompileRequest.Pipeline (and from ssyncd's
+// /v2 endpoints).
+type Pass = pass.Pass
+
+// PassState is the state a compilation threads through its pipeline:
+// working circuit, device, resolved configurations, placement and
+// result.
+type PassState = pass.State
+
+// PassSpec names a registered pass plus its opaque JSON options — one
+// stage of CompileRequest.Pipeline.
+type PassSpec = pass.Spec
+
+// PassFactory builds a configured Pass from its options JSON.
+type PassFactory = pass.Factory
+
+// PassConfigUse declares which request-level defaults a pass reads from
+// the PassState; custom passes may implement
+// `ConfigUse() ssync.PassConfigUse` to keep irrelevant configuration out
+// of their pipelines' cache keys (undeclared passes are assumed to read
+// everything).
+type PassConfigUse = pass.ConfigUse
+
+// PassTiming records one executed pipeline stage: wall time and
+// gate-count delta. CompileResult.PassTimings itemises a pipeline
+// compilation with these.
+type PassTiming = core.PassTiming
+
+// Built-in pass names; the built-in compilers are canned pipelines over
+// exactly these (BuiltinPipeline).
+const (
+	DecomposeBasisPass = pass.DecomposeBasis
+	PlaceGreedyPass    = pass.PlaceGreedy
+	PlaceAnnealedPass  = pass.PlaceAnnealed
+	RouteSSyncPass     = pass.RouteSSync
+	RouteMuraliPass    = pass.RouteMurali
+	RouteDaiPass       = pass.RouteDai
+	VerifyStatevecPass = pass.VerifyStatevec
+)
+
+// RegisterPass adds a named pass factory to the process-wide pass
+// registry, making it addressable from CompileRequest.Pipeline (and from
+// ssyncd's /v2 endpoints). Names must be unique and non-empty.
+func RegisterPass(name string, factory PassFactory) error {
+	return pass.Register(name, factory)
+}
+
+// Passes returns the registered pass names, sorted.
+func Passes() []string { return pass.Names() }
+
+// BuiltinPipeline returns the canned pass pipeline behind a built-in
+// compiler name ("murali", "dai", "ssync", "ssync-annealed"), or
+// ok=false for other names. A built-in name and its canned pipeline are
+// the same compilation — identical results and cache keys — so the
+// returned specs are the natural starting point for custom pipelines.
+func BuiltinPipeline(name string) ([]PassSpec, bool) {
+	return pass.BuiltinPipeline(name)
 }
 
 // CompileJob is one batch-compilation request.
