@@ -165,3 +165,95 @@ func BenchmarkBatchCompile(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkStagePrefixReuse measures the tiered artifact store on the
+// portfolio-shaped workload it exists for: one circuit compiled through
+// the three route variants, which share a decompose→place-annealed
+// prefix (the annealed placement is the expensive stage worth reusing).
+// The "no-stage-cache" case pays decompose+anneal three times;
+// "stage-cache" pays it once and resumes the other two variants from the
+// cached snapshot (asserted via the per-stage hit counters). The disk
+// pair measures the persistent tier: "disk-cold" compiles into an empty
+// directory, "disk-warm" restarts an engine over a warmed directory and
+// is served entirely from disk blobs.
+func BenchmarkStagePrefixReuse(b *testing.B) {
+	c := QFT(12)
+	topo := GridDevice(2, 2, 8)
+	pipelines := func() []CompileRequest {
+		var reqs []CompileRequest
+		for _, route := range []string{RouteSSyncPass, RouteMuraliPass, RouteDaiPass} {
+			reqs = append(reqs, CompileRequest{
+				Label: route, Circuit: c, Topo: topo,
+				Pipeline: []PassSpec{{Name: DecomposeBasisPass}, {Name: PlaceAnnealedPass}, {Name: route}},
+			})
+		}
+		return reqs
+	}
+	ctx := context.Background()
+	compileAll := func(b *testing.B, eng *Engine) {
+		b.Helper()
+		for _, req := range pipelines() {
+			if resp := eng.Do(ctx, req); resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+	}
+
+	// The correctness claim behind the benchmark, checked once up front:
+	// with the stage cache on, decompose-basis and place-annealed execute
+	// exactly once across the three route variants.
+	check := NewEngine(EngineOptions{StageCacheSize: 64})
+	compileAll(b, check)
+	for _, stage := range []string{DecomposeBasisPass, PlaceAnnealedPass} {
+		ps := check.Stats().Passes[stage]
+		if ps.Runs != 1 || ps.CacheHits != 2 {
+			b.Fatalf("%s: runs=%d cache hits=%d, want 1 run and 2 hits across three route variants",
+				stage, ps.Runs, ps.CacheHits)
+		}
+	}
+
+	b.Run("no-stage-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compileAll(b, NewEngine(EngineOptions{}))
+		}
+	})
+	b.Run("stage-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compileAll(b, NewEngine(EngineOptions{StageCacheSize: 64}))
+		}
+	})
+	b.Run("disk-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			eng, err := OpenEngine(EngineOptions{StageCacheSize: 64, CacheDir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			compileAll(b, eng)
+		}
+	})
+	b.Run("disk-warm", func(b *testing.B) {
+		dir := b.TempDir()
+		warmup, err := OpenEngine(EngineOptions{StageCacheSize: 64, CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		compileAll(b, warmup)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh engine per iteration models a restarted service: the
+			// in-memory tiers start empty and every request is served by
+			// decoding disk blobs, never by running a pass.
+			eng, err := OpenEngine(EngineOptions{StageCacheSize: 64, CacheDir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			compileAll(b, eng)
+			if st := eng.Stats(); st.Compiled != 0 {
+				b.Fatalf("warm disk tier compiled %d requests, want 0", st.Compiled)
+			}
+		}
+	})
+}

@@ -1,11 +1,18 @@
 // Command ssyncd serves S-SYNC compilation over HTTP JSON: single
 // compiles, worker-pool batches and portfolio races, backed by a shared
-// content-addressed result cache and single-flight coalescing so
-// repeated and concurrent identical requests skip compilation.
+// tiered content-addressed artifact store — an in-memory result cache
+// over an optional persistent disk tier (-cache-dir, so compiled
+// results survive restarts), plus a per-stage snapshot cache
+// (-stage-cache) that reuses pipeline prefixes such as a
+// decompose→place placement across route variants — and single-flight
+// coalescing so repeated and concurrent identical requests skip
+// compilation.
 //
 // Usage:
 //
-//	ssyncd -addr :8484 -workers 8 -cache 1024 -timeout 60s -drain 30s
+//	ssyncd -addr :8484 -workers 8 -cache 1024 -stage-cache 1024 \
+//	    -cache-dir /var/cache/ssyncd -cache-disk-max 268435456 \
+//	    -timeout 60s -drain 30s
 //
 // Endpoints:
 //
@@ -39,9 +46,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8484", "listen address")
-		workers = flag.Int("workers", 0, "batch worker count (default: GOMAXPROCS)")
-		cache   = flag.Int("cache", engine.DefaultCacheSize, "result-cache entries (negative disables)")
+		addr       = flag.String("addr", ":8484", "listen address")
+		workers    = flag.Int("workers", 0, "batch worker count (default: GOMAXPROCS)")
+		cache      = flag.Int("cache", engine.DefaultCacheSize, "result-cache entries (negative disables)")
+		stageCache = flag.Int("stage-cache", engine.DefaultStageCacheSize,
+			"per-stage snapshot cache entries for pipeline prefix reuse (0 disables)")
+		cacheDir = flag.String("cache-dir", "",
+			"persistent on-disk cache tier directory; results survive restarts (empty disables; one live daemon per directory — do not share between concurrent instances)")
+		cacheDiskMax = flag.Int64("cache-disk-max", engine.DefaultDiskMax,
+			"disk-tier size cap in bytes, LRU-by-access eviction (negative = unbounded)")
 		timeout = flag.Duration("timeout", 60*time.Second, "default per-job compile timeout (0 = unbounded)")
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
 	)
@@ -49,7 +62,16 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers})
+	eng, err := engine.Open(engine.Options{
+		CacheSize:      *cache,
+		StageCacheSize: *stageCache,
+		CacheDir:       *cacheDir,
+		DiskMax:        *cacheDiskMax,
+		Workers:        *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := newServer(eng, *workers, *timeout)
 	hs := &http.Server{
 		Handler: srv.routes(),
@@ -66,8 +88,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("ssyncd listening on %s (workers=%d cache=%d timeout=%s drain=%s)\n",
-		ln.Addr(), *workers, *cache, *timeout, *drain)
+	fmt.Printf("ssyncd listening on %s (workers=%d cache=%d stage-cache=%d cache-dir=%q timeout=%s drain=%s)\n",
+		ln.Addr(), *workers, *cache, *stageCache, *cacheDir, *timeout, *drain)
 	if err := serve(ctx, hs, ln, *drain); err != nil {
 		log.Fatal(err)
 	}

@@ -230,7 +230,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) statsV1() statsResponse {
-	st := s.eng.Stats()
+	return s.statsV1From(s.eng.Stats())
+}
+
+// statsV1From renders the v1 counters from an already-taken engine
+// snapshot. The /v2 handler takes one snapshot and renders both the v1
+// core and the v2 extensions from it, so the two halves of a /v2/stats
+// body can never disagree (the torn read a second Stats() call between
+// them would allow).
+func (s *server) statsV1From(st engine.Stats) statsResponse {
 	return statsResponse{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.requests.Load(),
@@ -391,6 +399,7 @@ func renderWithMetrics(req engine.Request, res engine.Response, m sim.Metrics) c
 			CacheHit:      res.CacheHit,
 			Key:           res.Key.String(),
 		},
+		CacheTier: res.CacheTier,
 		Coalesced: res.Coalesced,
 		Pipeline:  res.Pipeline,
 	}

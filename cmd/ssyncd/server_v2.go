@@ -11,6 +11,7 @@ import (
 	"ssync/internal/engine"
 	"ssync/internal/mapping"
 	"ssync/internal/pass"
+	"ssync/internal/store"
 )
 
 // The /v2 surface is the primary request schema over the engine's
@@ -82,6 +83,9 @@ type passTimingV2 struct {
 // coalescing and pipeline visibility.
 type compileResponseV2 struct {
 	compileResponse
+	// CacheTier names the tier that served a cache hit ("memory" or
+	// "disk"); omitted on misses.
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Coalesced reports that this request attached to an identical
 	// in-flight compilation instead of running its own.
 	Coalesced bool `json:"coalesced,omitempty"`
@@ -120,6 +124,50 @@ type passesResponseV2 struct {
 type passStatsV2 struct {
 	Runs    uint64  `json:"runs"`
 	TotalMs float64 `json:"total_ms"`
+	// CacheHits counts executions skipped because the stage was part of
+	// a restored pipeline prefix (per-stage caching).
+	CacheHits uint64 `json:"cache_hits,omitempty"`
+}
+
+// tierStatsV2 breaks one tiered cache down per tier over the wire.
+type tierStatsV2 struct {
+	MemHits     uint64 `json:"mem_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	Errors      uint64 `json:"errors,omitempty"`
+	MemEntries  int    `json:"mem_entries"`
+	MemCapacity int    `json:"mem_capacity"`
+	// Disk-tier fields; present only when -cache-dir is set.
+	DiskEntries   int    `json:"disk_entries,omitempty"`
+	DiskBytes     int64  `json:"disk_bytes,omitempty"`
+	DiskMaxBytes  int64  `json:"disk_max_bytes,omitempty"`
+	DiskEvictions uint64 `json:"disk_evictions,omitempty"`
+	DiskCorrupt   uint64 `json:"disk_corrupt,omitempty"`
+}
+
+func tierStats(st store.TieredStats) tierStatsV2 {
+	out := tierStatsV2{
+		MemHits: st.MemHits, DiskHits: st.DiskHits, Misses: st.Misses,
+		Puts: st.Puts, Errors: st.Errors,
+		MemEntries: st.Mem.Entries, MemCapacity: st.Mem.Capacity,
+	}
+	if st.HasDisk {
+		out.DiskEntries = st.Disk.Entries
+		out.DiskBytes = st.Disk.Bytes
+		out.DiskMaxBytes = st.Disk.MaxBytes
+		out.DiskEvictions = st.Disk.Evictions
+		out.DiskCorrupt = st.Disk.Corrupt
+	}
+	return out
+}
+
+// storeStatsV2 is the artifact-store section of /v2/stats: the finished
+// result cache and (when -stage-cache is on) the per-stage snapshot
+// cache, each per tier.
+type storeStatsV2 struct {
+	Results tierStatsV2  `json:"results"`
+	Stages  *tierStatsV2 `json:"stages,omitempty"`
 }
 
 type statsResponseV2 struct {
@@ -129,9 +177,13 @@ type statsResponseV2 struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Compilers lists the registered compiler names.
 	Compilers []string `json:"compilers"`
-	// Passes aggregates executed pipeline stages by pass name; only
-	// compilations that actually ran contribute (cache hits and
-	// coalesced waiters do not re-count).
+	// Store breaks the artifact store down per cache and per tier;
+	// omitted when the engine runs cacheless (-cache < 0).
+	Store *storeStatsV2 `json:"store,omitempty"`
+	// Passes aggregates pipeline stages by pass name; only compilations
+	// that actually ran contribute runs (whole-result cache hits and
+	// coalesced waiters do not re-count), while cache_hits counts stages
+	// skipped via restored prefixes.
 	Passes map[string]passStatsV2 `json:"passes,omitempty"`
 }
 
@@ -171,8 +223,8 @@ func (s *server) buildRequest(ctx context.Context, req compileRequestV2) (engine
 		// Reject overrides no stage would read — a mis-placed knob must
 		// not succeed silently with a different compilation than asked.
 		use := pass.PipelineUse(built)
-		if req.Mapping != "" && !use.Config {
-			return engine.Request{}, fmt.Errorf("mapping override is inert: no pipeline stage reads the scheduler config")
+		if req.Mapping != "" && !use.Config && !use.Mapping {
+			return engine.Request{}, fmt.Errorf("mapping override is inert: no pipeline stage reads the scheduler or mapping config")
 		}
 		if req.AnnealSeed != nil && !use.Anneal {
 			return engine.Request{}, fmt.Errorf("anneal_seed is inert: no pipeline stage reads the annealer config (add %s)", pass.PlaceAnnealed)
@@ -390,8 +442,10 @@ func (s *server) handlePassesV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleStatsV2 serves GET /v2/stats: the v1 counters plus coalescing and
-// the registry listing.
+// handleStatsV2 serves GET /v2/stats: the v1 counters plus coalescing,
+// the registry listing, the per-tier artifact-store breakdown and the
+// per-pass aggregates — all rendered from one engine snapshot, so the
+// sections are mutually consistent.
 func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodGet {
@@ -400,16 +454,25 @@ func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.eng.Stats()
 	resp := statsResponseV2{
-		statsResponse: s.statsV1(),
+		statsResponse: s.statsV1From(st),
 		Coalesced:     st.Coalesced,
 		Compilers:     engine.Compilers(),
+	}
+	if st.Results.Mem.Capacity > 0 { // zero exactly when the engine runs cacheless
+		ss := &storeStatsV2{Results: tierStats(st.Results)}
+		if st.Stages.Mem.Capacity > 0 {
+			stages := tierStats(st.Stages)
+			ss.Stages = &stages
+		}
+		resp.Store = ss
 	}
 	if len(st.Passes) > 0 {
 		resp.Passes = make(map[string]passStatsV2, len(st.Passes))
 		for name, ps := range st.Passes {
 			resp.Passes[name] = passStatsV2{
-				Runs:    ps.Runs,
-				TotalMs: float64(ps.Total) / float64(time.Millisecond),
+				Runs:      ps.Runs,
+				TotalMs:   float64(ps.Total) / float64(time.Millisecond),
+				CacheHits: ps.CacheHits,
 			}
 		}
 	}

@@ -251,6 +251,34 @@ func (p *Placement) Permutation() []int {
 	return out
 }
 
+// SlotList returns per-qubit {trap, slot} coordinates — {-1, -1} while
+// unplaced — the serialisable wire form of a placement. The engine's
+// cache snapshots and disk blobs store exactly this; FromSlotList
+// inverts it.
+func (p *Placement) SlotList() [][2]int {
+	out := make([][2]int, len(p.loc))
+	for q, l := range p.loc {
+		out[q] = [2]int{l.Trap, l.Slot}
+	}
+	return out
+}
+
+// FromSlotList rebuilds a placement on topo from SlotList coordinates,
+// failing on out-of-range or doubly occupied slots (a placement captured
+// from a consistent state always rebuilds).
+func FromSlotList(topo *Topology, slots [][2]int) (*Placement, error) {
+	p := NewPlacement(topo, len(slots))
+	for q, ts := range slots {
+		if ts[0] < 0 {
+			continue
+		}
+		if err := p.Place(q, ts[0], ts[1]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 // CheckInvariants verifies internal consistency: loc matches slots, ion
 // counts match occupancy, every qubit appears exactly once.
 func (p *Placement) CheckInvariants() error {

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/schedule"
+)
+
+// resultMagic versions the disk-tier blob form of a compiled result;
+// decodeResult treats any other prefix as undecodable, which the tiered
+// store absorbs as a miss (the entry is then recompiled and overwritten).
+const resultMagic = "ssync-result-v1\x00"
+
+// placementArtifact is a placement as plain qubit→{trap, slot}
+// coordinates ({-1,-1} while unplaced — device.Placement.SlotList); the
+// topology is rebound at decode time from the request, which the blob's
+// content address covers.
+type placementArtifact [][2]int
+
+// resultArtifact is the self-contained wire form of core.Result for the
+// artifact store's disk tier.
+type resultArtifact struct {
+	NumQubits   int               `json:"num_qubits"`
+	Ops         []schedule.Op     `json:"ops"`
+	Initial     placementArtifact `json:"initial,omitempty"`
+	Final       placementArtifact `json:"final,omitempty"`
+	Counts      schedule.Counts   `json:"counts"`
+	CompileTime time.Duration     `json:"compile_time_ns"`
+	Iterations  int               `json:"iterations,omitempty"`
+	Fallbacks   int               `json:"fallbacks,omitempty"`
+	Timings     []core.PassTiming `json:"timings,omitempty"`
+}
+
+func encodePlacement(p *device.Placement) placementArtifact {
+	if p == nil {
+		return nil
+	}
+	return p.SlotList()
+}
+
+func decodePlacement(a placementArtifact, topo *device.Topology) (*device.Placement, error) {
+	if a == nil {
+		return nil, nil
+	}
+	return device.FromSlotList(topo, a)
+}
+
+// encodeResult renders a compiled result as a versioned blob.
+func encodeResult(res *core.Result) ([]byte, error) {
+	if res == nil || res.Schedule == nil {
+		return nil, fmt.Errorf("engine: cannot encode a result without a schedule")
+	}
+	body, err := json.Marshal(resultArtifact{
+		NumQubits:   res.Schedule.NumQubits,
+		Ops:         res.Schedule.Ops,
+		Initial:     encodePlacement(res.Initial),
+		Final:       encodePlacement(res.Final),
+		Counts:      res.Counts,
+		CompileTime: res.CompileTime,
+		Iterations:  res.Iterations,
+		Fallbacks:   res.Fallbacks,
+		Timings:     res.PassTimings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(resultMagic), body...), nil
+}
+
+// decodeResult parses a blob written by encodeResult, rebinding its
+// placements to topo (the requesting device — the blob's key covers the
+// topology, so they always agree).
+func decodeResult(blob []byte, topo *device.Topology) (*core.Result, error) {
+	body, ok := bytes.CutPrefix(blob, []byte(resultMagic))
+	if !ok {
+		return nil, fmt.Errorf("engine: not a %q result blob", resultMagic[:len(resultMagic)-1])
+	}
+	var a resultArtifact
+	if err := json.Unmarshal(body, &a); err != nil {
+		return nil, fmt.Errorf("engine: result blob: %w", err)
+	}
+	initial, err := decodePlacement(a.Initial, topo)
+	if err != nil {
+		return nil, fmt.Errorf("engine: result blob initial placement: %w", err)
+	}
+	final, err := decodePlacement(a.Final, topo)
+	if err != nil {
+		return nil, fmt.Errorf("engine: result blob final placement: %w", err)
+	}
+	return &core.Result{
+		Schedule:    &schedule.Schedule{NumQubits: a.NumQubits, Ops: a.Ops},
+		Initial:     initial,
+		Final:       final,
+		Counts:      a.Counts,
+		CompileTime: a.CompileTime,
+		Iterations:  a.Iterations,
+		Fallbacks:   a.Fallbacks,
+		PassTimings: a.Timings,
+	}, nil
+}

@@ -1,103 +1,37 @@
 package engine
 
-import (
-	"container/list"
-	"sync"
-)
+import "ssync/internal/store"
 
-// CacheStats is a point-in-time snapshot of cache counters.
-type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int
-	Capacity  int
-}
+// CacheStats is a point-in-time snapshot of cache counters. For the
+// engine's tiered result cache it folds both tiers into the classic view
+// (a hit is a hit whether memory or disk served it); Stats.Results holds
+// the per-tier breakdown.
+type CacheStats = store.LRUStats
 
-// HitRate is hits / (hits + misses), or 0 before any lookup.
-func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(total)
-}
-
-// Cache is a content-addressed LRU map from job keys to values — compile
-// results in the engine, derived artefacts (e.g. simulation metrics) in
-// embedders. Pointer-typed values are shared between all readers and must
-// be treated as read-only. Safe for concurrent use.
+// Cache is a content-addressed LRU map from request keys to values —
+// derived artefacts (e.g. simulation metrics) in embedders; the engine's
+// own result cache is the tiered store (internal/store) this type's
+// implementation moved into. Pointer-typed values are shared between all
+// readers and must be treated as read-only. Safe for concurrent use.
 type Cache[V any] struct {
-	mu        sync.Mutex
-	max       int
-	ll        *list.List // front = most recently used
-	items     map[Key]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
-}
-
-type cacheEntry[V any] struct {
-	key Key
-	val V
+	lru *store.LRU[V]
 }
 
 // NewCache returns an LRU cache holding at most max values (min 1).
 func NewCache[V any](max int) *Cache[V] {
-	if max < 1 {
-		max = 1
-	}
-	return &Cache[V]{max: max, ll: list.New(), items: make(map[Key]*list.Element)}
+	return &Cache[V]{lru: store.NewLRU[V](max)}
 }
 
 // Get returns the cached value for key, marking it most recently used.
-func (c *Cache[V]) Get(key Key) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		var zero V
-		return zero, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry[V]).val, true
-}
+func (c *Cache[V]) Get(key Key) (V, bool) { return c.lru.Get(store.Key(key)) }
 
 // Put stores a value under key, evicting the least recently used entry
 // when over capacity. Storing an existing key refreshes its value and
 // recency.
-func (c *Cache[V]) Put(key Key, val V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry[V]).val = val
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
-		c.evictions++
-	}
-}
+func (c *Cache[V]) Put(key Key, val V) { c.lru.Put(store.Key(key), val) }
 
 // Len returns the current entry count.
-func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
+func (c *Cache[V]) Len() int { return c.lru.Len() }
 
 // Stats snapshots the cache counters.
-func (c *Cache[V]) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Entries: c.ll.Len(), Capacity: c.max,
-	}
-}
+func (c *Cache[V]) Stats() CacheStats { return c.lru.Stats() }

@@ -23,6 +23,8 @@ import (
 	"ssync/internal/device"
 	"ssync/internal/mapping"
 	"ssync/internal/pass"
+	"ssync/internal/qasm"
+	"ssync/internal/store"
 )
 
 // Compiler names one of the built-in compilers.
@@ -106,6 +108,10 @@ type Response struct {
 	Err error
 	// CacheHit reports that Result came from the finished-result cache.
 	CacheHit bool
+	// CacheTier names the tier that served a cache hit: "memory" for the
+	// LRU front, "disk" for the persistent tier (after which the result
+	// is promoted to memory). Empty when CacheHit is false.
+	CacheTier string
 	// Coalesced reports that this request attached to an identical
 	// in-flight compilation instead of running its own.
 	Coalesced bool
@@ -168,21 +174,33 @@ func jobResult(r Response) JobResult {
 	return JobResult{Label: r.Label, Key: r.Key, Res: r.Result, Err: r.Err, CacheHit: r.CacheHit}
 }
 
-// Stats is a point-in-time snapshot of engine counters.
+// Stats is a point-in-time snapshot of engine counters — the single
+// consistent view services read (ssyncd renders /v1 and /v2 stats from
+// one Stats call, and each tiered store snapshots its counters under
+// one lock, so no reader can observe torn per-tier values).
 type Stats struct {
 	// Compiled counts compilations actually executed (cache misses that
-	// ran to completion, successfully or not).
+	// ran to completion, successfully or not). A pipeline resumed from a
+	// cached stage prefix still counts as one compilation.
 	Compiled uint64
 	// Coalesced counts requests served by attaching to an identical
 	// in-flight compilation (single-flight joins).
 	Coalesced uint64
 	// Errors counts requests that finished with a non-nil error.
 	Errors uint64
-	Cache  CacheStats
-	// Passes aggregates executed pipeline stages by pass name: how often
-	// each pass ran and its cumulative wall time. Cache hits and
-	// coalesced waiters do not re-count — only compilations that actually
-	// executed contribute, mirroring Compiled.
+	// Cache is the classic result-cache view with both tiers folded
+	// together (a hit is a hit whether memory or disk served it).
+	Cache CacheStats
+	// Results breaks the finished-result cache down per tier.
+	Results store.TieredStats
+	// Stages breaks the per-stage snapshot cache down per tier; zero
+	// unless Options.StageCacheSize enabled it.
+	Stages store.TieredStats
+	// Passes aggregates pipeline stages by pass name: how often each
+	// pass ran, its cumulative wall time, and how often its execution
+	// was skipped by restoring a cached stage prefix. Whole-result cache
+	// hits and coalesced waiters do not count at all — only compilations
+	// that actually executed contribute, mirroring Compiled.
 	Passes map[string]PassStats
 }
 
@@ -192,14 +210,41 @@ type PassStats struct {
 	Runs uint64
 	// Total is the cumulative wall time across those runs.
 	Total time.Duration
+	// CacheHits counts executions skipped because the pass's stage was
+	// part of a restored pipeline prefix (per-stage caching).
+	CacheHits uint64
 }
 
 // Options configures a new Engine.
 type Options struct {
-	// CacheSize bounds the result cache: 0 selects DefaultCacheSize,
-	// negative disables caching entirely. A cacheless engine also skips
-	// content addressing, and with it single-flight coalescing.
+	// CacheSize bounds the result cache's in-memory tier: 0 selects
+	// DefaultCacheSize, negative disables caching entirely. A cacheless
+	// engine also skips content addressing, and with it single-flight
+	// coalescing, the stage cache and the disk tier.
 	CacheSize int
+	// StageCacheSize, when positive, enables per-stage prefix caching
+	// with an in-memory front of that many pipeline snapshots: the
+	// runner snapshots the pipeline State at stage boundaries and
+	// resumes later pipelines from the longest cached prefix, so e.g. a
+	// decompose→place prefix is computed once and reused verbatim across
+	// every route variant. <= 0 disables (per-stage caching is opt-in;
+	// results are identical either way, only work and timings change).
+	StageCacheSize int
+	// CacheDir, when non-empty, attaches a persistent on-disk tier under
+	// that directory: finished results (and stage snapshots, when the
+	// stage cache is on) are written as crash-safe content-addressed
+	// blobs, so a restarted engine serves previously compiled requests
+	// without re-running any pass. The directory must belong to one live
+	// engine at a time — concurrent engines over one directory make each
+	// other's evictions read as corrupt-blob misses and let the combined
+	// footprint exceed DiskMax (results stay correct; the cache churns).
+	// Use Open to surface directory errors; New panics on them. Ignored
+	// by cacheless engines.
+	CacheDir string
+	// DiskMax bounds the disk tier's total bytes, evicting least
+	// recently accessed blobs first: 0 selects DefaultDiskMax, negative
+	// means unbounded.
+	DiskMax int64
 	// Workers, when positive, bounds concurrent *compilations*
 	// engine-wide. Unlike a limiter wrapped around Do (e.g. Pool.Tokens),
 	// this admits cache hits and coalesced waiters without a slot — they
@@ -213,11 +258,29 @@ type Options struct {
 // is zero.
 const DefaultCacheSize = 512
 
-// Engine compiles requests with content-addressed result reuse and
-// single-flight coalescing of identical in-flight requests. It is safe
-// for concurrent use by multiple goroutines.
+// DefaultStageCacheSize is the stage-cache bound services enable by
+// default (ssyncd's -stage-cache flag); Options.StageCacheSize itself
+// defaults to off.
+const DefaultStageCacheSize = 1024
+
+// DefaultDiskMax is the disk-tier byte cap used when Options.DiskMax is
+// zero.
+const DefaultDiskMax int64 = 256 << 20
+
+// Engine compiles requests with content-addressed result reuse (tiered:
+// in-memory LRU over an optional persistent disk tier), per-stage
+// pipeline prefix reuse, and single-flight coalescing of identical
+// in-flight requests. It is safe for concurrent use by multiple
+// goroutines.
 type Engine struct {
-	cache *Cache[*core.Result] // nil when caching is disabled
+	// results is the finished-result cache; nil when caching is disabled.
+	results *store.Tiered[*core.Result]
+	// stages caches pipeline States at stage boundaries, keyed by prefix
+	// (prefixKeys); nil unless Options.StageCacheSize enabled it.
+	stages *store.Tiered[*pass.Snapshot]
+	// disk is the blob tier shared by results and stages; nil without
+	// Options.CacheDir.
+	disk *store.Disk
 	// tokens bounds concurrent compilations when Options.Workers > 0;
 	// only actual compiler executions hold a slot.
 	tokens    chan struct{}
@@ -231,19 +294,49 @@ type Engine struct {
 	passStats map[string]PassStats
 }
 
-// New returns an engine with the given options.
-func New(opt Options) *Engine {
+// Open returns an engine with the given options, surfacing disk-tier
+// errors (unwritable Options.CacheDir and the like). Engines without a
+// CacheDir cannot fail; New is the error-free constructor for them.
+func Open(opt Options) (*Engine, error) {
 	e := &Engine{passStats: make(map[string]PassStats)}
-	switch {
-	case opt.CacheSize < 0:
-		// caching disabled
-	case opt.CacheSize == 0:
-		e.cache = NewCache[*core.Result](DefaultCacheSize)
-	default:
-		e.cache = NewCache[*core.Result](opt.CacheSize)
-	}
 	if opt.Workers > 0 {
 		e.tokens = make(chan struct{}, opt.Workers)
+	}
+	if opt.CacheSize < 0 {
+		return e, nil // cacheless: no content addressing, stages or disk
+	}
+	size := opt.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if opt.CacheDir != "" {
+		max := opt.DiskMax
+		switch {
+		case max == 0:
+			max = DefaultDiskMax
+		case max < 0:
+			max = 0 // store: unbounded
+		}
+		disk, err := store.OpenDisk(opt.CacheDir, max)
+		if err != nil {
+			return nil, err
+		}
+		e.disk = disk
+	}
+	e.results = store.NewTiered[*core.Result](size, e.disk)
+	if opt.StageCacheSize > 0 {
+		e.stages = store.NewTiered[*pass.Snapshot](opt.StageCacheSize, e.disk)
+	}
+	return e, nil
+}
+
+// New returns an engine with the given options, panicking on disk-tier
+// open errors (only possible with Options.CacheDir set — services
+// wanting to handle those use Open).
+func New(opt Options) *Engine {
+	e, err := Open(opt)
+	if err != nil {
+		panic(err)
 	}
 	return e
 }
@@ -255,8 +348,18 @@ func (e *Engine) Stats() Stats {
 		Coalesced: e.coalesced.Load(),
 		Errors:    e.errors.Load(),
 	}
-	if e.cache != nil {
-		s.Cache = e.cache.Stats()
+	if e.results != nil {
+		s.Results = e.results.Stats()
+		s.Cache = CacheStats{
+			Hits:      s.Results.MemHits + s.Results.DiskHits,
+			Misses:    s.Results.Misses,
+			Evictions: s.Results.Mem.Evictions,
+			Entries:   s.Results.Mem.Entries,
+			Capacity:  s.Results.Mem.Capacity,
+		}
+	}
+	if e.stages != nil {
+		s.Stages = e.stages.Stats()
 	}
 	e.passMu.Lock()
 	if len(e.passStats) > 0 {
@@ -269,8 +372,9 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// recordPasses folds one executed compilation's per-pass timings into the
-// engine-wide aggregation.
+// recordPasses folds one compilation's *executed* per-pass timings into
+// the engine-wide aggregation (stages skipped via a restored prefix are
+// recorded by recordStageHits instead).
 func (e *Engine) recordPasses(timings []core.PassTiming) {
 	if len(timings) == 0 {
 		return
@@ -284,6 +388,24 @@ func (e *Engine) recordPasses(timings []core.PassTiming) {
 		ps.Runs++
 		ps.Total += t.Duration
 		e.passStats[t.Pass] = ps
+	}
+	e.passMu.Unlock()
+}
+
+// recordStageHits counts stages whose execution was skipped because a
+// cached pipeline prefix covered them.
+func (e *Engine) recordStageHits(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	e.passMu.Lock()
+	if e.passStats == nil {
+		e.passStats = make(map[string]PassStats)
+	}
+	for _, n := range names {
+		ps := e.passStats[n]
+		ps.CacheHits++
+		e.passStats[n] = ps
 	}
 	e.passMu.Unlock()
 }
@@ -326,8 +448,8 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	// Content addressing costs a full canonical render + hash per
 	// request, so it is skipped entirely on cacheless engines; Key stays
 	// zero there and coalescing (which is keyed) is skipped with it.
-	if e.cache == nil {
-		out.Result, out.Err = e.compile(ctx, x, req)
+	if e.results == nil {
+		out.Result, out.Err = e.compile(ctx, x, req, "")
 		if out.Err != nil {
 			e.errors.Add(1)
 		} else {
@@ -335,15 +457,21 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		}
 		return out
 	}
-	key, err := execKey(req, x)
+	// The canonical QASM render is the expensive shared ingredient of the
+	// request key and every stage-prefix key; render it exactly once.
+	qasmText := qasm.Write(req.Circuit)
+	key, err := execKey(req, x, qasmText)
 	if err != nil {
 		out.Err = err
 		e.errors.Add(1)
 		return out
 	}
 	out.Key = key
-	if res, ok := e.cache.Get(key); ok {
+	if res, tier, ok := e.results.Get(store.Key(key), func(blob []byte) (*core.Result, error) {
+		return decodeResult(blob, req.Topo)
+	}); ok {
 		out.Result, out.CacheHit = res, true
+		out.CacheTier = tier.String()
 		out.PassTimings = res.PassTimings
 		return out
 	}
@@ -357,9 +485,9 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	// no later request can ever start a second one: it either joins the
 	// flight or hits the cache.
 	out.Result, out.Err, out.Coalesced = e.flights.do(ctx, key, func() (*core.Result, error) {
-		res, err := e.compile(ctx, x, req)
+		res, err := e.compile(ctx, x, req, qasmText)
 		if err == nil {
-			e.cache.Put(key, res)
+			e.results.Put(store.Key(key), res, encodeResult)
 		}
 		return res, err
 	})
@@ -383,10 +511,12 @@ func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
 
 // compile acquires a worker slot (when the engine is bounded) and runs
 // the resolved plan under ctx, which Do has already scoped to the
-// request timeout. Registered compilers and passes are cooperatively
-// cancellable, so this runs on the calling goroutine and holds it until
-// compilation really stops.
-func (e *Engine) compile(ctx context.Context, x exec, req Request) (*core.Result, error) {
+// request timeout. Pipeline executions go through the stage cache when
+// one is configured — resuming from the longest cached prefix and
+// publishing snapshots at newly executed boundaries. Registered
+// compilers and passes are cooperatively cancellable, so this runs on
+// the calling goroutine and holds it until compilation really stops.
+func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText string) (*core.Result, error) {
 	if e.tokens != nil {
 		select {
 		case e.tokens <- struct{}{}:
@@ -395,15 +525,72 @@ func (e *Engine) compile(ctx context.Context, x exec, req Request) (*core.Result
 			return nil, ctx.Err()
 		}
 	}
-	res, err := x.run(ctx, req)
-	e.compiled.Add(1)
-	if res != nil {
-		e.recordPasses(res.PassTimings)
+	var res *core.Result
+	var executed []core.PassTiming
+	var err error
+	if e.stages != nil && len(x.passes) >= 2 {
+		res, executed, err = e.runStaged(ctx, x, req, qasmText)
+	} else {
+		res, err = x.run(ctx, req)
+		if res != nil {
+			executed = res.PassTimings
+		}
 	}
+	e.compiled.Add(1)
+	e.recordPasses(executed)
 	if err != nil && ctx.Err() != nil {
 		err = fmt.Errorf("engine: request %q: %w", req.Label, err)
 	}
 	return res, err
+}
+
+// runStaged executes a pipeline with per-stage prefix reuse: it looks
+// for the longest stage prefix with a cached snapshot (longest first, so
+// a cached decompose→place beats a cached decompose), restores the
+// pipeline State from it, runs only the remaining stages, and publishes
+// a snapshot at every newly executed snapshotable boundary. It returns
+// the result plus the timings of the stages this call actually executed
+// (the result's own PassTimings itemise the full pipeline, restored
+// stages included).
+func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText string) (*core.Result, []core.PassTiming, error) {
+	chain := prefixKeys(req, x, qasmText)
+	start := 0
+	var st *pass.State
+	for i := len(chain) - 1; i >= 0; i-- {
+		snap, _, ok := e.stages.Get(chain[i], pass.DecodeSnapshot)
+		if !ok {
+			continue
+		}
+		restored, err := snap.Restore(req.Circuit, req.Topo, ssyncConfig(req), annealConfig(req))
+		if err != nil {
+			continue // absorbed as a miss; the boundary is re-published below
+		}
+		st, start = restored, i+1
+		e.recordStageHits(x.names[:start])
+		break
+	}
+	if st == nil {
+		st = &pass.State{
+			Source:  req.Circuit,
+			Circuit: req.Circuit,
+			Topo:    req.Topo,
+			Config:  ssyncConfig(req),
+			Anneal:  annealConfig(req),
+		}
+	}
+	after := func(stage int, st *pass.State) {
+		if stage >= len(chain) {
+			return // the final boundary is the result; the result cache owns it
+		}
+		if snap, ok := pass.Capture(st); ok {
+			e.stages.Put(chain[stage], snap, (*pass.Snapshot).Encode)
+		}
+	}
+	res, err := pass.RunFrom(ctx, x.passes, st, start, after)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, st.Timings[start:], nil
 }
 
 // Limit runs fn while holding one of the engine's worker slots, so

@@ -3,7 +3,9 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"ssync/internal/core"
@@ -11,6 +13,21 @@ import (
 	"ssync/internal/mapping"
 	"ssync/internal/workloads"
 )
+
+// testCompilerSeq makes test-compiler names unique per registration: the
+// registry is process-wide and append-only, so a fixed name would panic
+// under `go test -count=N` (the race-detector CI sweep runs the suite
+// several times in one process).
+var testCompilerSeq atomic.Uint64
+
+// registerTestCompiler registers fn under a unique name derived from
+// base and returns that name.
+func registerTestCompiler(t testing.TB, base string, fn CompilerFunc) string {
+	t.Helper()
+	name := fmt.Sprintf("%s#%d", base, testCompilerSeq.Add(1))
+	MustRegister(name, fn)
+	return name
+}
 
 func testRequest(t testing.TB, bench, topoName string, capacity int, compiler string) Request {
 	t.Helper()
@@ -83,12 +100,12 @@ func TestRegisteredCustomCompilerServesDo(t *testing.T) {
 	// A custom compiler is addressable by name and distinguishable from
 	// the built-ins at the cache-key level.
 	calls := 0
-	MustRegister("test/echo-ssync", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/echo-ssync", func(ctx context.Context, req Request) (*core.Result, error) {
 		calls++
 		return core.CompileCtx(ctx, ssyncConfig(req), req.Circuit, req.Topo)
 	})
 	eng := New(Options{})
-	req := testRequest(t, "BV_12", "S-4", 8, "test/echo-ssync")
+	req := testRequest(t, "BV_12", "S-4", 8, name)
 	res := eng.Do(context.Background(), req)
 	if res.Err != nil {
 		t.Fatal(res.Err)
@@ -96,7 +113,7 @@ func TestRegisteredCustomCompilerServesDo(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("custom compiler ran %d times, want 1", calls)
 	}
-	if res.Compiler != "test/echo-ssync" {
+	if res.Compiler != name {
 		t.Errorf("response compiler %q", res.Compiler)
 	}
 	ssyncReq := req

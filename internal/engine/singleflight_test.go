@@ -20,7 +20,7 @@ func TestSingleFlightCoalescesConcurrentIdenticalRequests(t *testing.T) {
 	var invocations atomic.Int64
 	started := make(chan struct{})
 	release := make(chan struct{})
-	MustRegister("test/gated", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/gated", func(ctx context.Context, req Request) (*core.Result, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 			<-release
@@ -29,7 +29,7 @@ func TestSingleFlightCoalescesConcurrentIdenticalRequests(t *testing.T) {
 	})
 
 	eng := New(Options{})
-	req := testRequest(t, "BV_12", "S-4", 8, "test/gated")
+	req := testRequest(t, "BV_12", "S-4", 8, name)
 	key, err := RequestKey(req)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestSingleFlightFollowerHonoursOwnContext(t *testing.T) {
 	var invocations atomic.Int64
 	started := make(chan struct{})
 	release := make(chan struct{})
-	MustRegister("test/gated-ctx", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/gated-ctx", func(ctx context.Context, req Request) (*core.Result, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 			<-release
@@ -115,7 +115,7 @@ func TestSingleFlightFollowerHonoursOwnContext(t *testing.T) {
 	})
 
 	eng := New(Options{})
-	req := testRequest(t, "BV_12", "S-4", 8, "test/gated-ctx")
+	req := testRequest(t, "BV_12", "S-4", 8, name)
 	leaderDone := make(chan Response, 1)
 	go func() { leaderDone <- eng.Do(context.Background(), req) }()
 	<-started
@@ -142,7 +142,7 @@ func TestSingleFlightFollowerHonoursOwnContext(t *testing.T) {
 func TestSingleFlightRetriesAfterLeaderTimeout(t *testing.T) {
 	var invocations atomic.Int64
 	started := make(chan struct{})
-	MustRegister("test/leader-timeout", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/leader-timeout", func(ctx context.Context, req Request) (*core.Result, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 			<-ctx.Done() // burn the leader's whole (tiny) budget
@@ -152,7 +152,7 @@ func TestSingleFlightRetriesAfterLeaderTimeout(t *testing.T) {
 	})
 
 	eng := New(Options{})
-	req := testRequest(t, "BV_12", "S-4", 8, "test/leader-timeout")
+	req := testRequest(t, "BV_12", "S-4", 8, name)
 	leader := req
 	leader.Timeout = 10 * time.Millisecond
 	leaderDone := make(chan Response, 1)
@@ -181,7 +181,7 @@ func TestSingleFlightWaiterHonoursOwnTimeout(t *testing.T) {
 	var invocations atomic.Int64
 	started := make(chan struct{})
 	release := make(chan struct{})
-	MustRegister("test/gated-waiter-timeout", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/gated-waiter-timeout", func(ctx context.Context, req Request) (*core.Result, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 			<-release
@@ -190,7 +190,7 @@ func TestSingleFlightWaiterHonoursOwnTimeout(t *testing.T) {
 	})
 
 	eng := New(Options{})
-	req := testRequest(t, "BV_12", "S-4", 8, "test/gated-waiter-timeout")
+	req := testRequest(t, "BV_12", "S-4", 8, name)
 	leaderDone := make(chan Response, 1)
 	go func() { leaderDone <- eng.Do(context.Background(), req) }()
 	<-started
@@ -215,7 +215,7 @@ func TestSingleFlightSurvivesPanickingCompiler(t *testing.T) {
 	var invocations atomic.Int64
 	started := make(chan struct{})
 	release := make(chan struct{})
-	MustRegister("test/panicking", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/panicking", func(ctx context.Context, req Request) (*core.Result, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 			<-release
@@ -225,7 +225,7 @@ func TestSingleFlightSurvivesPanickingCompiler(t *testing.T) {
 	})
 
 	eng := New(Options{})
-	req := testRequest(t, "BV_12", "S-4", 8, "test/panicking")
+	req := testRequest(t, "BV_12", "S-4", 8, name)
 	key, err := RequestKey(req)
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +273,7 @@ func TestEngineWorkersBoundCompilations(t *testing.T) {
 	var invocations atomic.Int64
 	started := make(chan struct{})
 	release := make(chan struct{})
-	MustRegister("test/slot-holder", func(ctx context.Context, req Request) (*core.Result, error) {
+	name := registerTestCompiler(t, "test/slot-holder", func(ctx context.Context, req Request) (*core.Result, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 			<-release
@@ -282,7 +282,7 @@ func TestEngineWorkersBoundCompilations(t *testing.T) {
 	})
 
 	eng := New(Options{Workers: 1})
-	slow := testRequest(t, "QFT_12", "G-2x2", 8, "test/slot-holder")
+	slow := testRequest(t, "QFT_12", "G-2x2", 8, name)
 	cheap := testRequest(t, "BV_12", "S-4", 8, CompilerSSync)
 
 	// Warm the cache for the cheap request while the engine is idle.

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"ssync/internal/core"
 	"ssync/internal/device"
+	"ssync/internal/engine"
 	"ssync/internal/sim"
 	"ssync/internal/workloads"
 )
@@ -62,6 +64,14 @@ func Ablation(opt Options) (string, []AblationRow, error) {
 			{"BV_12", "L-4", 5},
 		}
 	}
+	// The variants differ only in scheduler knobs, so under the engine's
+	// per-stage prefix cache each workload's decompose→place prefix is
+	// computed once and every variant resumes from it, paying routing
+	// alone — the results are identical to compiling each variant from
+	// scratch (the pipeline is deterministic), only the redundant work
+	// disappears.
+	eng := engine.New(engine.Options{StageCacheSize: engine.DefaultStageCacheSize})
+	ctx := context.Background()
 	var rows []AblationRow
 	for _, w := range grid {
 		c, err := workloads.Build(w.app)
@@ -78,10 +88,14 @@ func Ablation(opt Options) (string, []AblationRow, error) {
 		for _, v := range ablationVariants() {
 			cfg := core.DefaultConfig()
 			v.mut(&cfg)
-			res, err := core.Compile(cfg, c, topo)
-			if err != nil {
-				return "", nil, fmt.Errorf("exp: ablation %s on %s: %w", v.name, w.app, err)
+			resp := eng.Do(ctx, engine.Request{
+				Label: w.app + "/" + v.name, Circuit: c, Topo: topo,
+				Compiler: engine.CompilerSSync, Config: &cfg,
+			})
+			if resp.Err != nil {
+				return "", nil, fmt.Errorf("exp: ablation %s on %s: %w", v.name, w.app, resp.Err)
 			}
+			res := resp.Result
 			m := sim.Run(res.Schedule, topo, sim.DefaultOptions())
 			rows = append(rows, AblationRow{
 				App: w.app, Topo: w.topo, Variant: v.name,

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"testing"
+
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/sim"
+	"ssync/internal/workloads"
+)
+
+// TestAblationEngineMatchesDirectCompile pins the ablation rework: the
+// engine path with per-stage prefix caching (decompose→place computed
+// once per workload, every variant resuming from the cached snapshot)
+// produces exactly the rows the original serial core.Compile loop
+// produced — prefix reuse is a work optimisation, never a result change.
+func TestAblationEngineMatchesDirectCompile(t *testing.T) {
+	_, got, err := Ablation(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []AblationRow
+	for _, w := range []struct {
+		app, topo string
+		cap       int
+	}{
+		{"QFT_12", "G-2x2", 5},
+		{"BV_12", "L-4", 5},
+	} {
+		c, err := workloads.Build(w.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := device.ByName(w.topo, w.cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.TotalCapacity() < c.NumQubits {
+			continue
+		}
+		for _, v := range ablationVariants() {
+			cfg := core.DefaultConfig()
+			v.mut(&cfg)
+			res, err := core.Compile(cfg, c, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sim.Run(res.Schedule, topo, sim.DefaultOptions())
+			want = append(want, AblationRow{
+				App: w.app, Topo: w.topo, Variant: v.name,
+				Shuttles: res.Counts.Shuttles, Swaps: res.Counts.Swaps,
+				Success: m.SuccessRate, Fallbacks: res.Fallbacks,
+			})
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("engine ablation produced %d rows, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: engine %+v != reference %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -92,9 +92,12 @@ type placeGreedyPass struct {
 
 func (placeGreedyPass) Name() string { return PlaceGreedy }
 
-// ConfigUse: the mapping sub-config is read even when the strategy is
-// overridden (alpha/beta/lookahead still come from the state).
-func (placeGreedyPass) ConfigUse() ConfigUse { return ConfigUse{Config: true} }
+// ConfigUse: only the mapping sub-config is read — even when the
+// strategy is overridden, the remaining mapping knobs come from the
+// state, while the scheduler knobs are never touched. Declaring
+// Mapping (not Config) keeps a decompose→place prefix shared across
+// requests that vary scheduler configuration.
+func (placeGreedyPass) ConfigUse() ConfigUse { return ConfigUse{Mapping: true} }
 
 func (p placeGreedyPass) Run(ctx context.Context, st *State) error {
 	cfg := st.Config.Mapping
@@ -126,8 +129,9 @@ type placeAnnealedPass struct {
 func (placeAnnealedPass) Name() string { return PlaceAnnealed }
 
 // ConfigUse: reads the mapping sub-config and the annealer settings (a
-// seed override still leaves the other annealer fields to the state).
-func (placeAnnealedPass) ConfigUse() ConfigUse { return ConfigUse{Config: true, Anneal: true} }
+// seed override still leaves the other annealer fields to the state),
+// but no scheduler knobs — see placeGreedyPass.ConfigUse.
+func (placeAnnealedPass) ConfigUse() ConfigUse { return ConfigUse{Mapping: true, Anneal: true} }
 
 func (p placeAnnealedPass) Run(ctx context.Context, st *State) error {
 	ann := st.Anneal

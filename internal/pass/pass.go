@@ -98,18 +98,26 @@ func Signature(p Pass) string {
 
 // ConfigUse declares which request-level defaults a pass reads from the
 // State. The engine hashes the resolved scheduler/annealer
-// configurations into a pipeline's cache key only when some stage
-// actually reads them, so e.g. a baseline pipeline is not fragmented by
-// an irrelevant Config on the request.
+// configurations into a pipeline's cache keys only as far as some stage
+// actually reads them — so e.g. a baseline pipeline is not fragmented by
+// an irrelevant Config on the request, and a decompose→place stage
+// prefix (which reads only the mapping sub-configuration) keeps one
+// prefix key across requests that vary scheduler knobs.
 type ConfigUse struct {
-	// Config reports that the pass reads State.Config.
+	// Config reports that the pass reads State.Config beyond its Mapping
+	// sub-configuration (scheduler knobs); it implies the full Config —
+	// Mapping included — joins the cache key.
 	Config bool
+	// Mapping reports that the pass reads State.Config.Mapping (and
+	// nothing else of the scheduler configuration). Redundant when Config
+	// is set.
+	Mapping bool
 	// Anneal reports that the pass reads State.Anneal.
 	Anneal bool
 }
 
 // ConfigUser is optionally implemented by passes to declare their
-// ConfigUse. Passes without it are assumed to read both configurations —
+// ConfigUse. Passes without it are assumed to read every configuration —
 // the safe default for custom passes, which see the full State.
 type ConfigUser interface {
 	ConfigUse() ConfigUse
@@ -121,7 +129,7 @@ func UseOf(p Pass) ConfigUse {
 	if u, ok := p.(ConfigUser); ok {
 		return u.ConfigUse()
 	}
-	return ConfigUse{Config: true, Anneal: true}
+	return ConfigUse{Config: true, Mapping: true, Anneal: true}
 }
 
 // PipelineUse folds the ConfigUse of every stage.
@@ -130,6 +138,7 @@ func PipelineUse(passes []Pass) ConfigUse {
 	for _, p := range passes {
 		u := UseOf(p)
 		use.Config = use.Config || u.Config
+		use.Mapping = use.Mapping || u.Mapping
 		use.Anneal = use.Anneal || u.Anneal
 	}
 	return use
@@ -249,14 +258,32 @@ func Build(specs []Spec) ([]Pass, error) {
 // state (i.e. include a routing pass); Run stamps the accumulated
 // per-pass timings and the total wall time onto it.
 func Run(ctx context.Context, passes []Pass, st *State) (*core.Result, error) {
+	return RunFrom(ctx, passes, st, 0, nil)
+}
+
+// RunFrom executes passes[start:] over st — the resume form of Run for
+// per-stage caching: the caller restores st to the boundary after stage
+// start-1 (see Snapshot.Restore) and the pipeline continues from there,
+// with st.Timings already carrying the restored stages' timings so the
+// final Result itemises the whole pipeline. after, when non-nil, is
+// invoked synchronously at the boundary after each executed stage —
+// before the next stage can mutate the state — which is where the engine
+// captures prefix snapshots. Result.CompileTime covers only the stages
+// this call executed (a reused prefix cost nothing); Result.PassTimings
+// still itemises every stage, restored ones at their original cost.
+func RunFrom(ctx context.Context, passes []Pass, st *State, start int, after func(stage int, st *State)) (*core.Result, error) {
 	if st.Circuit == nil || st.Topo == nil {
 		return nil, fmt.Errorf("pass: pipeline state needs both a circuit and a topology")
+	}
+	if start < 0 || start >= len(passes) {
+		return nil, fmt.Errorf("pass: resume stage %d out of range for a %d-stage pipeline", start, len(passes))
 	}
 	if st.Source == nil {
 		st.Source = st.Circuit
 	}
-	start := time.Now()
-	for i, p := range passes {
+	wall := time.Now()
+	for i := start; i < len(passes); i++ {
+		p := passes[i]
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -270,11 +297,14 @@ func Run(ctx context.Context, passes []Pass, st *State) (*core.Result, error) {
 			Duration:  time.Since(passStart),
 			GateDelta: st.gateCount() - before,
 		})
+		if after != nil {
+			after(i, st)
+		}
 	}
 	if st.Result == nil {
 		return nil, fmt.Errorf("pass: pipeline produced no result; add a routing pass (e.g. %s)", RouteSSync)
 	}
 	st.Result.PassTimings = append([]core.PassTiming(nil), st.Timings...)
-	st.Result.CompileTime = time.Since(start)
+	st.Result.CompileTime = time.Since(wall)
 	return st.Result, nil
 }

@@ -1,0 +1,147 @@
+package pass
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/mapping"
+	"ssync/internal/qasm"
+)
+
+// Snapshot is a serialisable image of the pipeline State at a stage
+// boundary: the working circuit in its canonical OpenQASM rendering, the
+// placement (if one exists yet) as plain qubit→slot coordinates, and the
+// per-pass timings of the stages that produced the boundary. It holds no
+// live pointers — Capture detaches from the State it reads and Restore
+// builds fresh objects — so one cached snapshot can seed any number of
+// concurrent resumed compilations, including across processes via its
+// Encode/DecodeSnapshot blob form.
+type Snapshot struct {
+	// QASM is the canonical rendering of the working circuit
+	// (qasm.Write); Restore re-parses it, which reproduces the circuit
+	// gate-for-gate.
+	QASM string `json:"qasm"`
+	// Slots holds, per logical qubit, its {trap, slot} location, or
+	// {-1, -1} while unplaced; nil when no placement pass has run yet.
+	Slots [][2]int `json:"slots,omitempty"`
+	// Timings itemises the stages up to this boundary; Restore seeds
+	// State.Timings with them so a resumed run still reports the full
+	// pipeline.
+	Timings []core.PassTiming `json:"timings,omitempty"`
+
+	// circMu guards circ, the memoized working circuit all resumes from
+	// this snapshot share: passes treat the working circuit as read-only
+	// (they replace the pointer, never mutate), so sharing is safe under
+	// the same contract as sharing cached results — and it makes resuming
+	// from an in-memory snapshot parse-free. Capture seeds it; snapshots
+	// decoded from disk blobs parse QASM on their first Restore only.
+	// The mutex makes Snapshot non-copyable by value; use pointers.
+	circMu sync.Mutex
+	circ   *circuit.Circuit
+}
+
+// Capture snapshots st at a stage boundary. Boundaries reached after a
+// result-producing (routing) stage are not snapshotable — ok is false
+// there — because a State carrying a schedule is the finished artifact
+// the engine's result cache already stores; per-stage snapshots exist
+// for the prefixes before routing (decompose, place), which other
+// pipelines can share.
+func Capture(st *State) (*Snapshot, bool) {
+	if st.Result != nil || st.Circuit == nil {
+		return nil, false
+	}
+	snap := &Snapshot{
+		QASM:    qasm.Write(st.Circuit),
+		Timings: append([]core.PassTiming(nil), st.Timings...),
+		circ:    st.Circuit,
+	}
+	if st.Placement != nil {
+		snap.Slots = st.Placement.SlotList()
+	}
+	return snap, true
+}
+
+// Restore rebuilds a State at the snapshot's boundary for a resumed run:
+// source is the request's original circuit (verification passes compare
+// against it), topo the request's device (snapshots are only valid for
+// the topology their cache key covers), cfg/ann the request's resolved
+// configurations. The placement is rebuilt fresh — routing passes
+// consume placements, so restored states must never alias the snapshot.
+func (s *Snapshot) Restore(source *circuit.Circuit, topo *device.Topology, cfg core.Config, ann mapping.AnnealConfig) (*State, error) {
+	c, err := s.workingCircuit()
+	if err != nil {
+		return nil, err
+	}
+	st := &State{
+		Source:  source,
+		Circuit: c,
+		Topo:    topo,
+		Config:  cfg,
+		Anneal:  ann,
+		Timings: append([]core.PassTiming(nil), s.Timings...),
+	}
+	if s.Slots != nil {
+		p, err := device.FromSlotList(topo, s.Slots)
+		if err != nil {
+			return nil, fmt.Errorf("pass: snapshot placement: %w", err)
+		}
+		st.Placement = p
+	}
+	return st, nil
+}
+
+// workingCircuit returns the snapshot's working circuit, parsing the
+// canonical QASM once and sharing the instance across all resumes
+// (Parse(Write(c)) reproduces the captured circuit gate-for-gate, so a
+// parsed and a captured instance are interchangeable).
+func (s *Snapshot) workingCircuit() (*circuit.Circuit, error) {
+	s.circMu.Lock()
+	defer s.circMu.Unlock()
+	if s.circ == nil {
+		c, err := qasm.Parse(s.QASM)
+		if err != nil {
+			return nil, fmt.Errorf("pass: snapshot circuit: %w", err)
+		}
+		s.circ = c
+	}
+	return s.circ, nil
+}
+
+// snapshotMagic versions the blob form; DecodeSnapshot treats any other
+// prefix as undecodable, which tiered stores absorb as a miss.
+const snapshotMagic = "ssync-snap-v1\x00"
+
+// Encode renders the snapshot as a self-contained versioned blob for the
+// artifact store's disk tier.
+func (s *Snapshot) Encode() ([]byte, error) {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(snapshotMagic), body...), nil
+}
+
+// DecodeSnapshot parses and validates a blob written by Encode: the
+// embedded QASM is parsed eagerly (and memoized for the Restores to
+// come), so a snapshot that could never restore fails here — the tiered
+// store then counts a decode error and a miss, keeping the advertised
+// invariant that a stage-tier hit equals skipped work.
+func DecodeSnapshot(blob []byte) (*Snapshot, error) {
+	body, ok := bytes.CutPrefix(blob, []byte(snapshotMagic))
+	if !ok {
+		return nil, fmt.Errorf("pass: not a %q snapshot blob", snapshotMagic[:len(snapshotMagic)-1])
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("pass: snapshot blob: %w", err)
+	}
+	if _, err := s.workingCircuit(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

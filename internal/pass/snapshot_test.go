@@ -1,0 +1,162 @@
+package pass
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/mapping"
+	"ssync/internal/workloads"
+)
+
+func snapshotState(t *testing.T, bench string) (*State, *device.Topology) {
+	t.Helper()
+	c, err := workloads.Build(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := device.Grid(2, 2, 8)
+	return &State{
+		Source: c, Circuit: c, Topo: topo,
+		Config: core.DefaultConfig(), Anneal: mapping.DefaultAnnealConfig(),
+	}, topo
+}
+
+// TestSnapshotResumeMatchesFullRun proves the contract per-stage caching
+// rests on: running decompose+place, snapshotting, round-tripping the
+// snapshot through its blob form, restoring, and running the remaining
+// stage produces exactly the schedule a straight full run produces.
+func TestSnapshotResumeMatchesFullRun(t *testing.T) {
+	specs, ok := BuiltinPipeline("ssync")
+	if !ok {
+		t.Fatal("no canned ssync pipeline")
+	}
+	passes, err := Build(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	full, _ := snapshotState(t, "QFT_12")
+	want, err := Run(ctx, passes, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run only decompose+place, capturing at each boundary.
+	partial, topo := snapshotState(t, "QFT_12")
+	var snaps []*Snapshot
+	for i := 0; i < 2; i++ {
+		if err := passes[i].Run(ctx, partial); err != nil {
+			t.Fatal(err)
+		}
+		partial.Timings = append(partial.Timings, core.PassTiming{Pass: passes[i].Name()})
+		snap, ok := Capture(partial)
+		if !ok {
+			t.Fatalf("boundary after stage %d not snapshotable", i)
+		}
+		snaps = append(snaps, snap)
+	}
+
+	blob, err := snaps[1].Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := snapshotState(t, "QFT_12")
+	st, err := decoded.Restore(src.Source, topo, core.DefaultConfig(), mapping.DefaultAnnealConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement == nil {
+		t.Fatal("restored state lost its placement")
+	}
+	if got, want := st.Placement.Permutation(), partial.Placement.Permutation(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored placement %v != captured %v", got, want)
+	}
+	got, err := RunFrom(ctx, passes, st, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Schedule, want.Schedule) {
+		t.Errorf("resumed schedule differs from full run (%d vs %d ops)",
+			len(got.Schedule.Ops), len(want.Schedule.Ops))
+	}
+	if got.Counts != want.Counts {
+		t.Errorf("resumed counts %+v != full-run %+v", got.Counts, want.Counts)
+	}
+	if len(got.PassTimings) != len(want.PassTimings) {
+		t.Errorf("resumed run reports %d pass timings, want %d (restored stages replayed)",
+			len(got.PassTimings), len(want.PassTimings))
+	}
+}
+
+// TestCaptureRefusesResultStates pins the snapshot boundary rule: once a
+// routing pass has produced a Result, the boundary belongs to the result
+// cache, not the stage cache.
+func TestCaptureRefusesResultStates(t *testing.T) {
+	specs, _ := BuiltinPipeline("ssync")
+	passes, err := Build(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := snapshotState(t, "BV_12")
+	if _, err := Run(context.Background(), passes, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Capture(st); ok {
+		t.Fatal("captured a state that already carries a Result")
+	}
+}
+
+// TestSnapshotBeforePlacement covers the decompose-only boundary: no
+// placement yet, circuit round-trips alone.
+func TestSnapshotBeforePlacement(t *testing.T) {
+	st, topo := snapshotState(t, "Adder_4")
+	st.Circuit = st.Circuit.DecomposeToBasis()
+	snap, ok := Capture(st)
+	if !ok {
+		t.Fatal("pre-placement boundary not snapshotable")
+	}
+	if snap.Slots != nil {
+		t.Fatal("snapshot invented a placement")
+	}
+	blob, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := decoded.Restore(st.Source, topo, core.DefaultConfig(), mapping.DefaultAnnealConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Placement != nil {
+		t.Fatal("restore invented a placement")
+	}
+	if got, want := len(restored.Circuit.Gates), len(st.Circuit.Gates); got != want {
+		t.Errorf("restored circuit has %d gates, want %d", got, want)
+	}
+	for i, g := range restored.Circuit.Gates {
+		w := st.Circuit.Gates[i]
+		if g.Name != w.Name || !reflect.DeepEqual(g.Qubits, w.Qubits) || !reflect.DeepEqual(g.Params, w.Params) {
+			t.Fatalf("gate %d: %v != %v", i, g, w)
+		}
+	}
+}
+
+func TestDecodeSnapshotRejectsForeignBlobs(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("ssync-result-v1\x00{}")); err == nil {
+		t.Fatal("decoded a result blob as a snapshot")
+	}
+	if _, err := DecodeSnapshot([]byte(snapshotMagic + "{not json")); err == nil {
+		t.Fatal("decoded malformed JSON")
+	}
+}

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a content-addressed in-memory map from keys to values — the
+// memory front of a Tiered store, and usable standalone (the engine's
+// result and metrics caches are this type under an alias). Pointer-typed
+// values are shared between all readers and must be treated as
+// read-only. Safe for concurrent use.
+type LRU[V any] struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type lruEntry[V any] struct {
+	key Key
+	val V
+}
+
+// NewLRU returns an LRU cache holding at most max values (min 1).
+func NewLRU[V any](max int) *LRU[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &LRU[V]{max: max, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *LRU[V]) Get(key Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// Put stores a value under key, evicting the least recently used entry
+// when over capacity. Storing an existing key refreshes its value and
+// recency.
+func (c *LRU[V]) Put(key Key, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *LRU[V]) Stats() LRUStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return LRUStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(), Capacity: c.max,
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"ssync/internal/qasm"
 	"ssync/internal/schedule"
 	"ssync/internal/sim"
+	"ssync/internal/store"
 	"ssync/internal/workloads"
 )
 
@@ -398,9 +399,37 @@ const (
 	SSyncCompiler  = engine.SSync
 )
 
-// NewEngine returns a concurrent compilation engine with a
-// content-addressed LRU result cache.
+// NewEngine returns a concurrent compilation engine with a tiered
+// content-addressed result cache (in-memory LRU, optionally over a
+// persistent disk tier) and, when EngineOptions.StageCacheSize enables
+// it, per-stage pipeline prefix reuse. It panics on disk-tier open
+// errors (only possible with EngineOptions.CacheDir set); use OpenEngine
+// to handle those.
 func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// OpenEngine is NewEngine with disk-tier errors surfaced: an engine
+// whose EngineOptions.CacheDir names an unusable directory fails here
+// instead of panicking. Engines opened over the same directory across
+// restarts serve previously compiled requests from the disk tier
+// without re-running any pass.
+func OpenEngine(opt EngineOptions) (*Engine, error) { return engine.Open(opt) }
+
+// TieredCacheStats breaks one of the engine's caches (results, stage
+// snapshots) down per tier: in-memory front and optional persistent
+// disk tier, snapshotted consistently under one lock.
+type TieredCacheStats = store.TieredStats
+
+// MemoryTierStats snapshots an in-memory LRU cache tier.
+type MemoryTierStats = store.LRUStats
+
+// DiskTierStats snapshots the persistent on-disk cache tier.
+type DiskTierStats = store.DiskStats
+
+// PassSnapshot is a serialisable image of a pipeline State at a stage
+// boundary — the unit of per-stage prefix caching. Embedders normally
+// never touch snapshots directly; the engine captures and restores them
+// when EngineOptions.StageCacheSize is set.
+type PassSnapshot = pass.Snapshot
 
 // defaultEngine backs the package-level batch/portfolio helpers so
 // repeated calls share one result cache.
