@@ -8,15 +8,26 @@
 // coalescing so repeated and concurrent identical requests skip
 // compilation.
 //
+// Compile capacity is governed by a priority-aware admission scheduler:
+// requests carry a "priority" class (interactive — the single-compile
+// default — batch, or background; batch entries and portfolio entrants
+// default to batch), worker slots are handed out by class weight so a
+// batch flood cannot starve interactive compiles, each class's queue is
+// bounded at -queue entries (shed with 429 + Retry-After when full),
+// and a "deadline_ms" budget is enforced at admission: a request whose
+// queue-wait estimate already exceeds its deadline is rejected with
+// 503 + Retry-After instead of timing out after queueing. GET /v2/stats
+// reports the scheduler under "sched".
+//
 // Usage:
 //
-//	ssyncd -addr :8484 -workers 8 -cache 1024 -stage-cache 1024 \
+//	ssyncd -addr :8484 -workers 8 -queue 256 -cache 1024 -stage-cache 1024 \
 //	    -cache-dir /var/cache/ssyncd -cache-disk-max 268435456 \
 //	    -timeout 60s -drain 30s
 //
 // Endpoints:
 //
-//	POST /v2/compile   {"benchmark":"QFT_24","topology":"G-2x3","compiler":"ssync-annealed"}
+//	POST /v2/compile   {"benchmark":"QFT_24","topology":"G-2x3","priority":"interactive","deadline_ms":2000}
 //	POST /v2/batch     {"requests":[{...},{...}]}
 //	GET  /v2/compilers
 //	GET  /v2/stats
@@ -46,8 +57,10 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8484", "listen address")
-		workers    = flag.Int("workers", 0, "batch worker count (default: GOMAXPROCS)")
+		addr    = flag.String("addr", ":8484", "listen address")
+		workers = flag.Int("workers", 0, "batch worker count (default: GOMAXPROCS)")
+		queue   = flag.Int("queue", 0,
+			"per-priority-class admission queue bound; arrivals beyond it are shed with 429 (0 = default, negative = unbounded)")
 		cache      = flag.Int("cache", engine.DefaultCacheSize, "result-cache entries (negative disables)")
 		stageCache = flag.Int("stage-cache", engine.DefaultStageCacheSize,
 			"per-stage snapshot cache entries for pipeline prefix reuse (0 disables)")
@@ -68,6 +81,7 @@ func main() {
 		CacheDir:       *cacheDir,
 		DiskMax:        *cacheDiskMax,
 		Workers:        *workers,
+		QueueLimit:     *queue,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,8 +102,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("ssyncd listening on %s (workers=%d cache=%d stage-cache=%d cache-dir=%q timeout=%s drain=%s)\n",
-		ln.Addr(), *workers, *cache, *stageCache, *cacheDir, *timeout, *drain)
+	fmt.Printf("ssyncd listening on %s (workers=%d queue=%d cache=%d stage-cache=%d cache-dir=%q timeout=%s drain=%s)\n",
+		ln.Addr(), *workers, *queue, *cache, *stageCache, *cacheDir, *timeout, *drain)
 	if err := serve(ctx, hs, ln, *drain); err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"ssync/internal/device"
 	"ssync/internal/engine"
 	"ssync/internal/qasm"
+	"ssync/internal/sched"
 	"ssync/internal/sim"
 	"ssync/internal/workloads"
 )
@@ -162,7 +164,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, status, err := s.compileOne(r.Context(), req.v2())
 	if err != nil {
-		httpError(w, status, err.Error())
+		writeError(w, status, err)
 		return
 	}
 	if req.Portfolio {
@@ -257,7 +259,7 @@ func (s *server) statsV1From(st engine.Stats) statsResponse {
 // jobTimeout resolves the per-request compile bound: the request override
 // when given, the server default otherwise. Clients may only lower the
 // bound — a raised override would let a few requests pin the worker
-// tokens past the operator's -timeout.
+// slots past the operator's -timeout.
 func (s *server) jobTimeout(timeoutMs int) time.Duration {
 	if timeoutMs > 0 {
 		t := time.Duration(timeoutMs) * time.Millisecond
@@ -334,11 +336,19 @@ func (s *server) racePortfolio(ctx context.Context, req compileRequestV2) (compi
 	if req.AnnealSeed != nil {
 		return compileResponseV2{}, http.StatusBadRequest, fmt.Errorf("portfolio already includes the annealed entrant under its default seed; drop the anneal_seed field")
 	}
+	// Portfolio entrants are throughput work by construction: without an
+	// explicit priority they race in the batch class, so a portfolio
+	// cannot monopolize the worker slots against interactive compiles.
+	ctx, cancel, class, deadline, err := schedParams(ctx, req, sched.Batch, time.Now())
+	defer cancel()
+	if err != nil {
+		return compileResponseV2{}, http.StatusBadRequest, err
+	}
 	// Construction is CPU work on the request goroutine; bound it by the
-	// engine's worker tokens like buildRequest does.
+	// engine's worker slots like buildRequest does, in the same class.
 	var c *circuit.Circuit
 	var topo *device.Topology
-	if err := s.eng.Limit(ctx, func() error {
+	if err := s.eng.LimitAs(ctx, class, func() error {
 		var err error
 		if c, err = buildCircuit(req); err != nil {
 			return err
@@ -348,8 +358,10 @@ func (s *server) racePortfolio(ctx context.Context, req compileRequestV2) (compi
 	}); err != nil {
 		return compileResponseV2{}, buildErrorStatus(err), err
 	}
-	out, err := s.eng.Race(ctx, c, topo, nil,
-		engine.RaceOptions{Workers: s.workers, Timeout: s.jobTimeout(req.TimeoutMs), Metrics: s.metrics})
+	out, err := s.eng.Race(ctx, c, topo, nil, engine.RaceOptions{
+		Workers: s.workers, Timeout: s.jobTimeout(req.TimeoutMs),
+		Priority: class, Deadline: deadline, Metrics: s.metrics,
+	})
 	if err != nil {
 		return compileResponseV2{}, compileErrorStatus(err), err
 	}
@@ -413,11 +425,22 @@ func renderWithMetrics(req engine.Request, res engine.Response, m sim.Metrics) c
 	return out
 }
 
-// compileErrorStatus maps a compile failure to its HTTP status: 504 for
-// timeouts (retryable with a higher timeout_ms), 422 for requests that
-// are well-formed but cannot compile.
+// compileErrorStatus maps a compile failure to its HTTP status. The
+// admission scheduler's structured load-shedding errors come first —
+// they must never degrade to a generic failure code, on /v2 or through
+// the frozen /v1 adapter: 429 for a full priority-class queue (back
+// off and retry), 503 for a deadline the queue-wait estimate already
+// overruns (retry with a later deadline, or when load drains). Both
+// carry a Retry-After hint the error writer turns into the header.
+// Then 504 for timeouts (retryable with a higher timeout_ms), and 422
+// for requests that are well-formed but cannot compile.
 func compileErrorStatus(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, sched.ErrDeadline):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusUnprocessableEntity
@@ -425,14 +448,30 @@ func compileErrorStatus(err error) int {
 
 // buildErrorStatus maps a request-building failure to its HTTP status.
 // Validation problems are the client's fault (400), but construction
-// queues for an engine worker slot, so a context expiry there is load,
-// not a malformed request — report it like a compile-phase timeout
-// (retryable) rather than a 400.
+// queues for an engine worker slot, so a context expiry — or an
+// admission-control shed — there is load, not a malformed request:
+// report it like the compile-phase equivalent (retryable) rather than
+// a 400.
 func buildErrorStatus(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || sched.Shed(err) {
 		return compileErrorStatus(err)
 	}
 	return http.StatusBadRequest
+}
+
+// writeError writes an error response, attaching a Retry-After header
+// (in whole seconds, rounded up, minimum 1) when the error chain
+// carries a scheduler load-shed with a drain estimate — the contract
+// behind every 429/503 this service emits.
+func writeError(w http.ResponseWriter, status int, err error) {
+	if retry, ok := sched.RetryAfter(err); ok {
+		secs := int64(retry+time.Second-1) / int64(time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	httpError(w, status, err.Error())
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {

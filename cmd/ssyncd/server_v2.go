@@ -11,6 +11,7 @@ import (
 	"ssync/internal/engine"
 	"ssync/internal/mapping"
 	"ssync/internal/pass"
+	"ssync/internal/sched"
 	"ssync/internal/store"
 )
 
@@ -68,6 +69,18 @@ type compileRequestV2 struct {
 	// TimeoutMs bounds this request's compile time; 0 uses the server
 	// default, and overrides may only lower it.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Priority is the scheduling class ("interactive", "batch",
+	// "background"). Single compiles default to interactive; batch and
+	// portfolio entries default to batch. Under load the admission
+	// scheduler hands worker slots out by class weight, and full class
+	// queues shed with 429 + Retry-After.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMs is the request's completion budget in milliseconds from
+	// arrival. Beyond bounding the compile like timeout_ms, it drives
+	// deadline-aware admission: a request whose queue-wait estimate
+	// already exceeds the deadline is rejected immediately with 503 +
+	// Retry-After instead of timing out after queueing.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
 // passTimingV2 is one executed pipeline stage in a compile response.
@@ -83,6 +96,16 @@ type passTimingV2 struct {
 // coalescing and pipeline visibility.
 type compileResponseV2 struct {
 	compileResponse
+	// ErrorStatus classifies a failed batch entry with the HTTP status
+	// the same failure would earn on /v2/compile — 429 (class queue
+	// full) and 503 (deadline unmeetable) keep their load-shedding
+	// semantics even though the batch envelope itself is a 200. Zero on
+	// success (and on /v2/compile, where the real status line carries it).
+	ErrorStatus int `json:"error_status,omitempty"`
+	// RetryAfterMs hints when to retry a shed batch entry (the
+	// per-entry equivalent of the Retry-After header); omitted when the
+	// scheduler has no drain estimate yet.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 	// CacheTier names the tier that served a cache hit ("memory" or
 	// "disk"); omitted on misses.
 	CacheTier string `json:"cache_tier,omitempty"`
@@ -170,6 +193,71 @@ type storeStatsV2 struct {
 	Stages  *tierStatsV2 `json:"stages,omitempty"`
 }
 
+// schedClassStatsV2 is one priority class's row in the /v2/stats sched
+// section.
+type schedClassStatsV2 struct {
+	// Weight is the class's share of slot handoffs under contention.
+	Weight int `json:"weight"`
+	// QueueLimit is the class's admission-queue bound (negative:
+	// unbounded).
+	QueueLimit int `json:"queue_limit"`
+	// Depth is the current queue depth.
+	Depth int `json:"depth"`
+	// Admitted counts requests that acquired a worker slot.
+	Admitted uint64 `json:"admitted"`
+	// ShedQueueFull counts arrivals rejected with 429 (queue full).
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	// ShedDeadline counts arrivals rejected with 503 (queue-wait
+	// estimate already past their deadline).
+	ShedDeadline uint64 `json:"shed_deadline"`
+	// Abandoned counts waiters that left the queue before being served
+	// (client cancelled, timeout expired while queued).
+	Abandoned uint64 `json:"abandoned"`
+	// AvgWaitMs / MaxWaitMs summarise queue time across admissions that
+	// actually queued.
+	AvgWaitMs float64 `json:"avg_wait_ms"`
+	MaxWaitMs float64 `json:"max_wait_ms"`
+}
+
+// schedStatsV2 is the admission-scheduler section of /v2/stats.
+type schedStatsV2 struct {
+	// Slots is the worker-slot budget (-workers).
+	Slots int `json:"slots"`
+	// Busy is the number of slots currently held.
+	Busy int `json:"busy"`
+	// Queued is the total admission-queue depth across classes.
+	Queued int `json:"queued"`
+	// AvgServiceMs is the scheduler's service-time estimate (EWMA of
+	// slot-hold durations) behind its queue-wait predictions.
+	AvgServiceMs float64 `json:"avg_service_ms"`
+	// Classes maps each priority class to its row.
+	Classes map[string]schedClassStatsV2 `json:"classes"`
+}
+
+// schedStats renders the scheduler snapshot for the wire.
+func schedStats(st *sched.Stats) *schedStatsV2 {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := &schedStatsV2{
+		Slots: st.Slots, Busy: st.Busy, Queued: st.Queued,
+		AvgServiceMs: ms(st.AvgService),
+		Classes:      make(map[string]schedClassStatsV2, len(st.Classes)),
+	}
+	for _, c := range st.Classes {
+		out.Classes[string(c.Class)] = schedClassStatsV2{
+			Weight:        c.Weight,
+			QueueLimit:    c.QueueLimit,
+			Depth:         c.Depth,
+			Admitted:      c.Admitted,
+			ShedQueueFull: c.ShedQueueFull,
+			ShedDeadline:  c.ShedDeadline,
+			Abandoned:     c.Abandoned,
+			AvgWaitMs:     ms(c.AvgWait()),
+			MaxWaitMs:     ms(c.MaxWait),
+		}
+	}
+	return out
+}
+
 type statsResponseV2 struct {
 	statsResponse
 	// Coalesced counts requests served by attaching to an in-flight
@@ -180,6 +268,10 @@ type statsResponseV2 struct {
 	// Store breaks the artifact store down per cache and per tier;
 	// omitted when the engine runs cacheless (-cache < 0).
 	Store *storeStatsV2 `json:"store,omitempty"`
+	// Sched is the admission scheduler's snapshot — slot occupancy,
+	// per-class queue depth/wait and admitted/shed counts — taken from
+	// the same engine snapshot as every other section.
+	Sched *schedStatsV2 `json:"sched,omitempty"`
 	// Passes aggregates pipeline stages by pass name; only compilations
 	// that actually ran contribute runs (whole-result cache hits and
 	// coalesced waiters do not re-count), while cache_hits counts stages
@@ -199,16 +291,53 @@ func pipelineSpecs(specs []passSpecV2) []pass.Spec {
 	return out
 }
 
+// schedParams resolves a wire request's scheduling fields: its priority
+// class (def when unset — interactive for single compiles, batch for
+// batch entries and portfolio entrants), its absolute deadline, and ctx
+// re-bounded by that deadline. The budget runs from arrival — the
+// caller passes the moment the HTTP request (or its enclosing batch)
+// was accepted, so a batch entry built after its siblings queued
+// through the construction limiter does not get its deadline silently
+// extended by that wait — and the returned context also covers the
+// construction phase: a doomed request is shed at the construction
+// limiter's admission control instead of queueing there deadline-less.
+// cancel is always non-nil.
+func schedParams(ctx context.Context, req compileRequestV2, def sched.Class, arrival time.Time) (_ context.Context, cancel context.CancelFunc, class sched.Class, deadline time.Time, err error) {
+	cancel = func() {}
+	class, err = sched.ParseClass(req.Priority)
+	if err != nil {
+		return ctx, cancel, "", deadline, err
+	}
+	if req.Priority == "" {
+		class = def
+	}
+	if req.DeadlineMs < 0 {
+		return ctx, cancel, "", deadline, fmt.Errorf("deadline_ms must not be negative")
+	}
+	if req.DeadlineMs > 0 {
+		deadline = arrival.Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+	}
+	return ctx, cancel, class, deadline, nil
+}
+
 // buildRequest turns a /v2 wire request into an engine request. Cheap
-// field-level validation (compiler/pipeline resolution, overrides) runs
-// first, so malformed requests are rejected without consuming compile
-// capacity; circuit and topology construction — CPU work paid before any
-// compile timeout starts — then runs under the engine's worker-token
-// limiter, so a burst of requests with huge inline QASM programs queues
-// for compile slots instead of saturating every request goroutine at
-// once.
-func (s *server) buildRequest(ctx context.Context, req compileRequestV2) (engine.Request, error) {
+// field-level validation (compiler/pipeline resolution, overrides,
+// priority class) runs first, so malformed requests are rejected
+// without consuming compile capacity; circuit and topology construction
+// — CPU work paid before any compile timeout starts — then runs under
+// the engine's worker-slot limiter in the request's own priority class,
+// so a burst of requests with huge inline QASM programs queues for
+// compile slots instead of saturating every request goroutine at once.
+// def is the class an entry without an explicit priority lands in;
+// arrival anchors the entry's deadline_ms budget.
+func (s *server) buildRequest(ctx context.Context, req compileRequestV2, def sched.Class, arrival time.Time) (engine.Request, error) {
 	var out engine.Request
+	ctx, cancel, class, deadline, err := schedParams(ctx, req, def, arrival)
+	defer cancel()
+	if err != nil {
+		return engine.Request{}, err
+	}
 	name := req.Compiler
 	if len(req.Pipeline) > 0 {
 		if name != "" {
@@ -260,7 +389,7 @@ func (s *server) buildRequest(ctx context.Context, req compileRequestV2) (engine
 		a.Seed = *req.AnnealSeed
 		ann = &a
 	}
-	if err := s.eng.Limit(ctx, func() error {
+	if err := s.eng.LimitAs(ctx, class, func() error {
 		c, err := buildCircuit(req)
 		if err != nil {
 			return err
@@ -279,6 +408,8 @@ func (s *server) buildRequest(ctx context.Context, req compileRequestV2) (engine
 	out.Pipeline = pipelineSpecs(req.Pipeline)
 	out.Config, out.Anneal = cfg, ann
 	out.Timeout = s.jobTimeout(req.TimeoutMs)
+	out.Priority = class
+	out.Deadline = deadline
 	return out, nil
 }
 
@@ -288,7 +419,7 @@ func (s *server) compileOne(ctx context.Context, req compileRequestV2) (compileR
 	if req.Portfolio {
 		return s.racePortfolio(ctx, req)
 	}
-	er, err := s.buildRequest(ctx, req)
+	er, err := s.buildRequest(ctx, req, sched.Interactive, time.Now())
 	if err != nil {
 		return compileResponseV2{}, buildErrorStatus(err), err
 	}
@@ -333,7 +464,11 @@ func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, i
 	}
 
 	// Malformed entries fail individually without sinking the batch; the
-	// well-formed remainder is fanned across the pool.
+	// well-formed remainder is fanned across the pool. One arrival time
+	// anchors every entry's deadline_ms: entries build sequentially
+	// through the construction limiter, and a later entry's budget must
+	// not be silently extended by its siblings' queue time.
+	arrival := time.Now()
 	results := make([]compileResponseV2, len(entries))
 	var reqs []engine.Request
 	var reqIdx []int
@@ -346,9 +481,9 @@ func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, i
 			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: "portfolio is single-compile only; use the compile endpoint"}}
 			continue
 		}
-		er, err := s.buildRequest(ctx, cr)
+		er, err := s.buildRequest(ctx, cr, sched.Batch, arrival)
 		if err != nil {
-			results[i] = compileResponseV2{compileResponse: compileResponse{Label: cr.Label, Error: err.Error()}}
+			results[i] = entryError(cr.Label, err, buildErrorStatus(err))
 			continue
 		}
 		reqs = append(reqs, er)
@@ -358,12 +493,28 @@ func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, i
 	for k, res := range pool.RunRequests(ctx, reqs) {
 		i := reqIdx[k]
 		if res.Err != nil {
-			results[i] = compileResponseV2{compileResponse: compileResponse{Label: res.Label, Error: res.Err.Error()}}
+			results[i] = entryError(res.Label, res.Err, compileErrorStatus(res.Err))
 			continue
 		}
 		results[i] = s.render(reqs[k], res)
 	}
 	return results, http.StatusOK, nil
+}
+
+// entryError shapes one failed batch entry, preserving the
+// load-shedding contract the batch envelope's 200 would otherwise hide:
+// the entry carries the status the failure would earn on /v2/compile
+// (429/503 for scheduler sheds) plus the per-entry Retry-After
+// equivalent.
+func entryError(label string, err error, status int) compileResponseV2 {
+	out := compileResponseV2{
+		compileResponse: compileResponse{Label: label, Error: err.Error()},
+		ErrorStatus:     status,
+	}
+	if retry, ok := sched.RetryAfter(err); ok && retry > 0 {
+		out.RetryAfterMs = int64(retry / time.Millisecond)
+	}
+	return out
 }
 
 // handleCompileV2 serves POST /v2/compile.
@@ -379,7 +530,7 @@ func (s *server) handleCompileV2(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, status, err := s.compileOne(r.Context(), req)
 	if err != nil {
-		httpError(w, status, err.Error())
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -465,6 +616,9 @@ func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 			ss.Stages = &stages
 		}
 		resp.Store = ss
+	}
+	if st.Sched != nil {
+		resp.Sched = schedStats(st.Sched)
 	}
 	if len(st.Passes) > 0 {
 		resp.Passes = make(map[string]passStatsV2, len(st.Passes))

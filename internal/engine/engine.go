@@ -24,6 +24,7 @@ import (
 	"ssync/internal/mapping"
 	"ssync/internal/pass"
 	"ssync/internal/qasm"
+	"ssync/internal/sched"
 	"ssync/internal/store"
 )
 
@@ -82,6 +83,28 @@ type Request struct {
 	// compilation, and the compilation itself; 0 falls back to the pool's
 	// default (or no limit when executed directly).
 	Timeout time.Duration
+	// Priority is the request's scheduling class ("interactive", "batch",
+	// "background"); the zero value resolves to sched.Interactive. On a
+	// worker-bounded engine the admission scheduler queues cache misses
+	// per class and hands freed slots out by class weight, so a flood of
+	// batch work cannot starve interactive requests. Priority is not part
+	// of the cache key: identical circuits at different priorities share
+	// cached results and coalesce into one in-flight compilation. One
+	// consequence: a follower that coalesces onto an *identical* request
+	// whose lower-class leader is still queued for a slot advances at
+	// the leader's class weight, not its own (bounded by the follower's
+	// own deadline; priority donation to a queued leader is future
+	// work — see ROADMAP). Distinct requests never share this fate.
+	Priority sched.Class
+	// Deadline, when non-zero, is the absolute completion deadline. It
+	// folds into the request context alongside Timeout (whichever expires
+	// first wins) and drives deadline-aware admission: a request whose
+	// queue-wait estimate already exceeds the deadline is shed on arrival
+	// with sched.ErrDeadline instead of queueing doomed work. Like
+	// Priority, it never enters the cache key, and a coalesced follower
+	// keeps its own deadline — attaching to a longer-budget in-flight
+	// leader never weakens it.
+	Deadline time.Time
 }
 
 // Response is one compilation outcome. Exactly one of Result and Err is
@@ -202,6 +225,11 @@ type Stats struct {
 	// hits and coalesced waiters do not count at all — only compilations
 	// that actually executed contribute, mirroring Compiled.
 	Passes map[string]PassStats
+	// Sched is the admission scheduler's snapshot — slot occupancy,
+	// per-class queue depths, wait times and admitted/shed counts — taken
+	// in the same Stats call as every other section; nil on unbounded
+	// engines (Options.Workers <= 0), which have no scheduler.
+	Sched *sched.Stats
 }
 
 // PassStats aggregates one pass's executions engine-wide.
@@ -246,12 +274,20 @@ type Options struct {
 	// means unbounded.
 	DiskMax int64
 	// Workers, when positive, bounds concurrent *compilations*
-	// engine-wide. Unlike a limiter wrapped around Do (e.g. Pool.Tokens),
-	// this admits cache hits and coalesced waiters without a slot — they
-	// do no compilation work — so a thundering herd of identical requests
+	// engine-wide through the admission scheduler (internal/sched):
+	// cache misses acquire a worker slot in their Request.Priority class,
+	// queued per class and handed freed slots by class weight, while
+	// cache hits and coalesced waiters pass without a slot — they do no
+	// compilation work — so a thundering herd of identical requests
 	// cannot starve unrelated traffic out of the worker budget. <= 0
-	// means unbounded.
+	// means unbounded: no scheduler, no admission control.
 	Workers int
+	// QueueLimit bounds each priority class's admission queue on a
+	// worker-bounded engine: arrivals beyond it are shed with
+	// sched.ErrQueueFull instead of queueing without bound. 0 selects
+	// sched.DefaultQueueLimit; negative means unbounded queues (shedding
+	// by deadline only). Ignored when Workers <= 0.
+	QueueLimit int
 }
 
 // DefaultCacheSize is the result-cache bound used when Options.CacheSize
@@ -281,9 +317,10 @@ type Engine struct {
 	// disk is the blob tier shared by results and stages; nil without
 	// Options.CacheDir.
 	disk *store.Disk
-	// tokens bounds concurrent compilations when Options.Workers > 0;
-	// only actual compiler executions hold a slot.
-	tokens    chan struct{}
+	// sched admission-controls compilations when Options.Workers > 0:
+	// only actual compiler executions hold a slot, acquired in the
+	// request's priority class. Nil on unbounded engines.
+	sched     *sched.Scheduler
 	flights   flightGroup
 	compiled  atomic.Uint64
 	coalesced atomic.Uint64
@@ -300,7 +337,13 @@ type Engine struct {
 func Open(opt Options) (*Engine, error) {
 	e := &Engine{passStats: make(map[string]PassStats)}
 	if opt.Workers > 0 {
-		e.tokens = make(chan struct{}, opt.Workers)
+		cc := sched.ClassConfig{QueueLimit: opt.QueueLimit}
+		e.sched = sched.New(sched.Config{
+			Slots: opt.Workers,
+			Class: map[sched.Class]sched.ClassConfig{
+				sched.Interactive: cc, sched.Batch: cc, sched.Background: cc,
+			},
+		})
 	}
 	if opt.CacheSize < 0 {
 		return e, nil // cacheless: no content addressing, stages or disk
@@ -360,6 +403,10 @@ func (e *Engine) Stats() Stats {
 	}
 	if e.stages != nil {
 		s.Stages = e.stages.Stats()
+	}
+	if e.sched != nil {
+		ss := e.sched.Stats()
+		s.Sched = &ss
 	}
 	e.passMu.Lock()
 	if len(e.passStats) > 0 {
@@ -435,14 +482,29 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		e.errors.Add(1)
 		return out
 	}
-	// The request timeout bounds everything Do does on the request's
-	// behalf — queueing for a worker slot, waiting on a coalesced
-	// in-flight compilation, and compiling — so a short-deadline request
-	// that attaches to a long-running identical flight still fails by its
-	// own budget, not the leader's.
+	// An unknown priority class is a malformed request, not a scheduling
+	// outcome — fail it before any cache or queue work, bounded or not,
+	// so the same request cannot succeed on an unbounded engine and fail
+	// on a bounded one.
+	if _, err := sched.ParseClass(string(req.Priority)); err != nil {
+		out.Err = err
+		e.errors.Add(1)
+		return out
+	}
+	// The request timeout and absolute deadline bound everything Do does
+	// on the request's behalf — queueing for a worker slot, waiting on a
+	// coalesced in-flight compilation, and compiling — so a
+	// short-deadline request that attaches to a long-running identical
+	// flight still fails by its own budget, not the leader's. Whichever
+	// of the two expires first wins.
 	if req.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	if !req.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
 		defer cancel()
 	}
 	// Content addressing costs a full canonical render + hash per
@@ -509,21 +571,27 @@ func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
 	return jobResult(e.Do(ctx, j.Request()))
 }
 
-// compile acquires a worker slot (when the engine is bounded) and runs
-// the resolved plan under ctx, which Do has already scoped to the
-// request timeout. Pipeline executions go through the stage cache when
-// one is configured — resuming from the longest cached prefix and
+// compile acquires a worker slot through the admission scheduler (when
+// the engine is bounded) and runs the resolved plan under ctx, which Do
+// has already scoped to the request timeout and deadline. The slot is
+// acquired in the request's priority class; admission control may shed
+// the request here with sched.ErrQueueFull or sched.ErrDeadline, which
+// propagate as this compilation's structured error (services map them
+// to 429/503). Pipeline executions go through the stage cache when one
+// is configured — resuming from the longest cached prefix and
 // publishing snapshots at newly executed boundaries. Registered
 // compilers and passes are cooperatively cancellable, so this runs on
 // the calling goroutine and holds it until compilation really stops.
 func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText string) (*core.Result, error) {
-	if e.tokens != nil {
-		select {
-		case e.tokens <- struct{}{}:
-			defer func() { <-e.tokens }()
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	if e.sched != nil {
+		release, err := e.sched.Acquire(ctx, req.Priority)
+		if err != nil {
+			if sched.Shed(err) {
+				err = fmt.Errorf("engine: request %q: %w", req.Label, err)
+			}
+			return nil, err
 		}
+		defer release()
 	}
 	var res *core.Result
 	var executed []core.PassTiming
@@ -553,6 +621,13 @@ func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText stri
 // (the result's own PassTimings itemise the full pipeline, restored
 // stages included).
 func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText string) (*core.Result, []core.PassTiming, error) {
+	// A request cancelled while queueing for its slot must not pay for
+	// the prefix scan below (disk-tier reads, snapshot decode/restore)
+	// either — the between-stage checks in pass.RunFrom only cover what
+	// comes after.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	chain := prefixKeys(req, x, qasmText)
 	start := 0
 	var st *pass.State
@@ -593,21 +668,30 @@ func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText st
 	return res, st.Timings[start:], nil
 }
 
-// Limit runs fn while holding one of the engine's worker slots, so
-// CPU-bound request preparation (circuit generation, QASM parsing,
-// topology construction) competes for the same budget as compilation
-// instead of running unbounded on caller goroutines. On an unbounded
-// engine (Options.Workers <= 0) it simply runs fn. Do not call Limit
-// around Engine.Do: compilation acquires its own slot, and holding one
-// across that acquisition could deadlock a fully-loaded engine.
+// Limit runs fn while holding one of the engine's worker slots at
+// interactive priority; see LimitAs.
 func (e *Engine) Limit(ctx context.Context, fn func() error) error {
-	if e.tokens != nil {
-		select {
-		case e.tokens <- struct{}{}:
-			defer func() { <-e.tokens }()
-		case <-ctx.Done():
-			return ctx.Err()
+	return e.LimitAs(ctx, sched.Interactive, fn)
+}
+
+// LimitAs runs fn while holding one of the engine's worker slots,
+// acquired through the admission scheduler in the given priority class,
+// so CPU-bound request preparation (circuit generation, QASM parsing,
+// topology construction) competes for the same budget — and queues in
+// the same class — as the compilation it precedes, instead of running
+// unbounded on caller goroutines. Admission control applies: a full
+// class queue or an unmeetable ctx deadline sheds fn un-run with a
+// structured scheduler error. On an unbounded engine
+// (Options.Workers <= 0) it simply runs fn. Do not call LimitAs around
+// Engine.Do: compilation acquires its own slot, and holding one across
+// that acquisition could deadlock a fully-loaded engine.
+func (e *Engine) LimitAs(ctx context.Context, class sched.Class, fn func() error) error {
+	if e.sched != nil {
+		release, err := e.sched.Acquire(ctx, class)
+		if err != nil {
+			return err
 		}
+		defer release()
 	}
 	return fn()
 }

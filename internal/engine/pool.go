@@ -5,11 +5,20 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"ssync/internal/sched"
 )
 
 // Pool fans a batch of requests across a fixed set of workers. Results
 // come back in request order regardless of completion order, so a batch
 // run is a drop-in replacement for the equivalent serial loop.
+//
+// A pool is throughput work by construction, so on a worker-bounded
+// engine its requests default to the batch scheduling class: a large
+// batch (or portfolio race) queues behind its class weight instead of
+// monopolizing the engine's worker slots against interactive traffic.
+// Individual requests may still set their own Priority, and Priority
+// overrides the pool default for the whole run.
 type Pool struct {
 	// Engine executes (and caches) the requests; nil gets a fresh
 	// cacheless engine per run.
@@ -19,15 +28,15 @@ type Pool struct {
 	// Timeout is the per-request default applied to requests whose own
 	// Timeout is zero; 0 means unbounded.
 	Timeout time.Duration
-	// Tokens, when non-nil, is a capacity limiter shared across pools:
-	// every in-flight request holds one token, so a buffered channel of
-	// size N bounds total concurrency at N machine-wide even when many
-	// runs (e.g. concurrent service requests) are active at once.
-	//
-	// Deprecated: prefer Options.Workers on the engine itself, which
-	// bounds actual compilations — cache hits and coalesced waiters pass
-	// without a slot, so identical requests cannot starve the budget.
-	Tokens chan struct{}
+	// Priority is the scheduling class applied to requests whose own
+	// Priority is unset; the zero value selects sched.Batch (not
+	// interactive — see the type comment).
+	Priority sched.Class
+	// Deadline, when non-zero, is the absolute completion deadline
+	// applied to requests whose own Deadline is zero — the whole batch
+	// shares one budget, and deadline-aware admission may shed entries
+	// that could no longer meet it.
+	Deadline time.Time
 }
 
 // RunRequests handles every request through Engine.Do and returns one
@@ -46,6 +55,10 @@ func (p *Pool) RunRequests(ctx context.Context, reqs []Request) []Response {
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
+	class := p.Priority
+	if class == "" {
+		class = sched.Batch
+	}
 	results := make([]Response, len(reqs))
 	if len(reqs) == 0 {
 		return results
@@ -61,18 +74,13 @@ func (p *Pool) RunRequests(ctx context.Context, reqs []Request) []Response {
 				if req.Timeout == 0 {
 					req.Timeout = p.Timeout
 				}
-				if p.Tokens != nil {
-					select {
-					case p.Tokens <- struct{}{}:
-					case <-ctx.Done():
-						results[i] = Response{Label: req.Label, Err: ctx.Err()}
-						continue
-					}
+				if req.Priority == "" {
+					req.Priority = class
+				}
+				if req.Deadline.IsZero() {
+					req.Deadline = p.Deadline
 				}
 				results[i] = eng.Do(ctx, req)
-				if p.Tokens != nil {
-					<-p.Tokens
-				}
 			}
 		}()
 	}

@@ -120,17 +120,18 @@ func TestPoolCancellation(t *testing.T) {
 	}
 }
 
-func TestPoolSharedTokensBoundConcurrency(t *testing.T) {
-	// Two pools share a 1-token limiter; with instrumentable jobs out of
-	// reach (compilers are opaque), assert the observable contract:
-	// everything completes correctly and the limiter ends drained.
-	tokens := make(chan struct{}, 1)
-	eng := New(Options{CacheSize: -1})
+func TestPoolSharedWorkerBudgetBoundConcurrency(t *testing.T) {
+	// Two pools share one worker-bounded (1-slot) engine; with
+	// instrumentable jobs out of reach (compilers are opaque), assert
+	// the observable contract: everything completes correctly and the
+	// admission scheduler ends quiescent — no leaked slots, no queued
+	// ghosts.
+	eng := New(Options{CacheSize: -1, Workers: 1})
 	jobs := testGrid(t)
 	done := make(chan error, 2)
 	for g := 0; g < 2; g++ {
 		go func() {
-			pool := Pool{Engine: eng, Workers: 4, Tokens: tokens}
+			pool := Pool{Engine: eng, Workers: 4}
 			done <- FirstError(pool.Run(context.Background(), jobs))
 		}()
 	}
@@ -139,14 +140,22 @@ func TestPoolSharedTokensBoundConcurrency(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	if len(tokens) != 0 {
-		t.Errorf("%d tokens still held after both runs finished", len(tokens))
+	st := eng.Stats()
+	if st.Sched == nil {
+		t.Fatal("worker-bounded engine reported no scheduler stats")
 	}
-	// A cancelled context must not deadlock on a fully-held limiter.
-	tokens <- struct{}{} // exhaust capacity
+	if st.Sched.Busy != 0 || st.Sched.Queued != 0 {
+		t.Errorf("scheduler not quiescent after both runs: busy=%d queued=%d", st.Sched.Busy, st.Sched.Queued)
+	}
+	// Pool requests default to the batch class; the admissions must be
+	// accounted there, not under interactive.
+	if batch := st.Sched.Classes[1]; batch.Admitted == 0 {
+		t.Errorf("no batch-class admissions recorded: %+v", st.Sched.Classes)
+	}
+	// A cancelled context must not deadlock on a fully-loaded engine.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	pool := Pool{Engine: eng, Workers: 2, Tokens: tokens}
+	pool := Pool{Engine: eng, Workers: 2}
 	for i, r := range pool.Run(ctx, jobs) {
 		if !errors.Is(r.Err, context.Canceled) {
 			t.Fatalf("job %d: err = %v, want context.Canceled", i, r.Err)

@@ -9,6 +9,7 @@ import (
 	"ssync/internal/core"
 	"ssync/internal/device"
 	"ssync/internal/mapping"
+	"ssync/internal/sched"
 	"ssync/internal/sim"
 )
 
@@ -73,10 +74,15 @@ type RaceOptions struct {
 	Workers int
 	// Timeout is the per-variant compile bound; 0 means unbounded.
 	Timeout time.Duration
-	// Tokens is an optional shared capacity limiter (see Pool.Tokens).
-	//
-	// Deprecated: prefer Options.Workers on the engine (see Pool.Tokens).
-	Tokens chan struct{}
+	// Priority is the scheduling class the entrants compile under; the
+	// zero value selects sched.Batch, so a portfolio fanned out on a
+	// worker-bounded engine queues behind its class weight instead of
+	// monopolizing every slot against interactive traffic.
+	Priority sched.Class
+	// Deadline, when non-zero, is the absolute completion deadline every
+	// entrant shares; deadline-aware admission may shed entrants that
+	// could no longer meet it.
+	Deadline time.Time
 	// Sim configures the scoring simulation; the zero value selects
 	// sim.DefaultOptions().
 	Sim *sim.Options
@@ -99,7 +105,7 @@ func (e *Engine) Race(ctx context.Context, c *circuit.Circuit, topo *device.Topo
 	for i, v := range variants {
 		reqs[i] = v.request(c, topo)
 	}
-	pool := Pool{Engine: e, Workers: opt.Workers, Timeout: opt.Timeout, Tokens: opt.Tokens}
+	pool := Pool{Engine: e, Workers: opt.Workers, Timeout: opt.Timeout, Priority: opt.Priority, Deadline: opt.Deadline}
 	results := pool.RunRequests(ctx, reqs)
 
 	simOpt := sim.DefaultOptions()

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ssync/internal/core"
+	"ssync/internal/sched"
 )
 
 // flight is one in-progress compilation that concurrent identical
@@ -40,9 +41,13 @@ type flightGroup struct {
 // (the engine caches the result inside fn for exactly that reason — the
 // flight is deregistered only after fn returns, so between cache put and
 // deregistration no second compilation can start). A waiter whose leader
-// failed with the *leader's* cancellation or deadline retries with its
-// own still-live ctx instead of inheriting an error that says nothing
-// about its own budget.
+// failed with a *per-request* outcome — the leader's own cancellation or
+// deadline, or an admission-control shed of the leader's priority
+// class/deadline (sched.Shed) — retries with its own still-live ctx
+// instead of inheriting an error that says nothing about its own budget
+// or class: priorities and deadlines are deliberately outside the
+// coalescing key, so an interactive follower must not report 429
+// because a batch leader's queue was full.
 func (g *flightGroup) do(ctx context.Context, key Key, fn func() (*core.Result, error)) (res *core.Result, err error, joined bool) {
 	for {
 		g.mu.Lock()
@@ -54,8 +59,9 @@ func (g *flightGroup) do(ctx context.Context, key Key, fn func() (*core.Result, 
 			g.mu.Unlock()
 			select {
 			case <-f.done:
-				if f.err != nil && isContextError(f.err) && ctx.Err() == nil {
-					// The leader ran out of *its* time, not ours: retry.
+				if f.err != nil && ctx.Err() == nil && (isContextError(f.err) || sched.Shed(f.err)) {
+					// The leader ran out of *its* time, or was shed by
+					// *its* class queue or deadline — not ours: retry.
 					continue
 				}
 				return f.res, f.err, true

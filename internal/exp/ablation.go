@@ -8,6 +8,7 @@ import (
 	"ssync/internal/core"
 	"ssync/internal/device"
 	"ssync/internal/engine"
+	"ssync/internal/sched"
 	"ssync/internal/sim"
 	"ssync/internal/workloads"
 )
@@ -91,6 +92,7 @@ func Ablation(opt Options) (string, []AblationRow, error) {
 			resp := eng.Do(ctx, engine.Request{
 				Label: w.app + "/" + v.name, Circuit: c, Topo: topo,
 				Compiler: engine.CompilerSSync, Config: &cfg,
+				Priority: sched.Background, // offline sweep: never contend with live traffic
 			})
 			if resp.Err != nil {
 				return "", nil, fmt.Errorf("exp: ablation %s on %s: %w", v.name, w.app, resp.Err)

@@ -18,6 +18,7 @@ import (
 	"ssync/internal/engine"
 	"ssync/internal/mapping"
 	"ssync/internal/noise"
+	"ssync/internal/sched"
 	"ssync/internal/sim"
 	"ssync/internal/workloads"
 )
@@ -181,7 +182,9 @@ func comparison(opt Options) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool := engine.Pool{Engine: engine.New(engine.Options{CacheSize: -1})}
+	// Experiment grids are offline sweeps: background class, so sharing
+	// an engine with live traffic can never starve it.
+	pool := engine.Pool{Engine: engine.New(engine.Options{CacheSize: -1}), Priority: sched.Background}
 	results := pool.RunRequests(context.Background(), reqs)
 	cells := make([]Cell, 0, len(results))
 	for i, r := range results {

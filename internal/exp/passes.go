@@ -8,6 +8,7 @@ import (
 
 	"ssync/internal/device"
 	"ssync/internal/engine"
+	"ssync/internal/sched"
 	"ssync/internal/workloads"
 )
 
@@ -57,6 +58,7 @@ func PassBreakdown(opt Options) (string, []PassRow, error) {
 	for _, comp := range []string{"murali", "dai", "ssync", "ssync-annealed"} {
 		res := eng.Do(context.Background(), engine.Request{
 			Label: app, Circuit: c, Topo: topo, Compiler: comp,
+			Priority: sched.Background, // offline sweep: never contend with live traffic
 		})
 		if res.Err != nil {
 			return "", nil, fmt.Errorf("exp: %s on %s with %s: %w", app, topoName, comp, res.Err)

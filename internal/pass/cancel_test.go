@@ -1,0 +1,77 @@
+package pass
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// funcPass adapts a closure into a Pass for cancellation tests.
+type funcPass struct {
+	name string
+	fn   func(ctx context.Context, st *State) error
+}
+
+func (p funcPass) Name() string                             { return p.name }
+func (p funcPass) Run(ctx context.Context, st *State) error { return p.fn(ctx, st) }
+
+// TestCancelledBetweenStagesNeverStartsNext: a request cancelled while
+// one stage runs must not start the next stage, even when that stage
+// itself never polls the context — the runner checks at every stage
+// boundary.
+func TestCancelledBetweenStagesNeverStartsNext(t *testing.T) {
+	st := testState(t, "QFT_12", "G-2x2", 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	secondRan := false
+	passes := []Pass{
+		funcPass{"cancel-mid-pipeline", func(context.Context, *State) error {
+			cancel() // the request dies while this stage executes
+			return nil
+		}},
+		funcPass{"must-not-run", func(context.Context, *State) error {
+			secondRan = true
+			return nil
+		}},
+	}
+	_, err := Run(ctx, passes, st)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v; want context.Canceled from the stage boundary", err)
+	}
+	if secondRan {
+		t.Fatal("a stage ran after the request was cancelled")
+	}
+	// The completed first stage is still accounted (its snapshot would be
+	// valid); nothing after it is.
+	if len(st.Timings) != 1 || st.Timings[0].Pass != "cancel-mid-pipeline" {
+		t.Fatalf("timings = %+v; want exactly the executed stage", st.Timings)
+	}
+}
+
+// TestResumeWithExpiredContextRunsNothing covers the snapshot-resume
+// path: RunFrom with a non-zero start (the engine resuming from a
+// cached stage prefix) under an already-expired context must not start
+// the resumed stage.
+func TestResumeWithExpiredContextRunsNothing(t *testing.T) {
+	st := testState(t, "QFT_12", "G-2x2", 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	passes := []Pass{
+		funcPass{"restored-prefix", func(context.Context, *State) error {
+			t.Fatal("the restored prefix stage must not re-run")
+			return nil
+		}},
+		funcPass{"must-not-run", func(context.Context, *State) error {
+			ran = true
+			return nil
+		}},
+	}
+	_, err := RunFrom(ctx, passes, st, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunFrom returned %v; want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("resume path started a stage under an expired context")
+	}
+}

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrQueueFull is the sentinel under every *QueueFullError: the
+// request's class queue was at its bound on arrival, so the request was
+// shed instead of queued. Services map it to HTTP 429.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// ErrDeadline is the sentinel under every *DeadlineError: on arrival
+// the queue-wait estimate already exceeded the request's deadline, so
+// the request was rejected immediately rather than queued as doomed
+// work. Services map it to HTTP 503.
+var ErrDeadline = errors.New("sched: deadline unmeetable")
+
+// QueueFullError reports a request shed because its class queue was
+// full.
+type QueueFullError struct {
+	// Class is the priority class whose queue was full.
+	Class Class
+	// Limit is the class's queue bound at shed time.
+	Limit int
+	// Retry estimates when a slot of queue room frees up (zero when the
+	// scheduler has no service-time observations yet).
+	Retry time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("sched: %s queue full (%d queued)", e.Class, e.Limit)
+}
+
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
+// DeadlineError reports a request rejected on arrival because the
+// queue-wait estimate already exceeded its deadline.
+type DeadlineError struct {
+	// Class is the request's priority class.
+	Class Class
+	// Estimate was the queue-wait estimate at arrival.
+	Estimate time.Duration
+	// Remaining was the time left until the request's deadline.
+	Remaining time.Duration
+	// Retry estimates when the backlog will have drained enough for an
+	// identical request to be admitted.
+	Retry time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sched: %s queue wait ≈%s exceeds the request deadline (%s remaining)",
+		e.Class, e.Estimate.Round(time.Millisecond), e.Remaining.Round(time.Millisecond))
+}
+
+func (e *DeadlineError) Unwrap() error { return ErrDeadline }
+
+// Shed reports whether err (anywhere in its chain) is a scheduler
+// load-shedding rejection — queue full or deadline unmeetable — as
+// opposed to a failure of the work itself.
+func Shed(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadline)
+}
+
+// RetryAfter extracts the retry hint from a shed error chain. ok is
+// false for non-shed errors; a shed error with no estimate (cold
+// scheduler) returns (0, true).
+func RetryAfter(err error) (time.Duration, bool) {
+	var qf *QueueFullError
+	if errors.As(err, &qf) {
+		return qf.Retry, true
+	}
+	var de *DeadlineError
+	if errors.As(err, &de) {
+		return de.Retry, true
+	}
+	return 0, false
+}

@@ -31,6 +31,7 @@ package ssync
 import (
 	"context"
 	"sync"
+	"time"
 
 	"ssync/internal/circuit"
 	"ssync/internal/core"
@@ -41,6 +42,7 @@ import (
 	"ssync/internal/noise"
 	"ssync/internal/pass"
 	"ssync/internal/qasm"
+	"ssync/internal/sched"
 	"ssync/internal/schedule"
 	"ssync/internal/sim"
 	"ssync/internal/store"
@@ -301,6 +303,57 @@ func Compilers() []string { return engine.Compilers() }
 func Do(ctx context.Context, req CompileRequest) CompileResponse {
 	return DefaultEngine().Do(ctx, req)
 }
+
+// ---- scheduling & backpressure ----
+
+// Priority is a request's scheduling class. On a worker-bounded engine
+// (EngineOptions.Workers > 0) the admission scheduler queues cache
+// misses per class and hands freed worker slots out by class weight, so
+// a flood of batch work cannot starve interactive requests; bounded
+// class queues and deadline-aware admission shed overload with
+// structured errors instead of letting it time out. Priority and
+// CompileRequest.Deadline never enter the cache key: they select when a
+// request runs, not what it computes.
+type Priority = sched.Class
+
+// The built-in priority classes, highest service share first.
+// InteractivePriority is the default for a zero CompileRequest.Priority;
+// CompilePool batches and portfolio races default their entrants to
+// BatchPriority.
+const (
+	InteractivePriority = sched.Interactive
+	BatchPriority       = sched.Batch
+	BackgroundPriority  = sched.Background
+)
+
+// ParsePriority resolves a priority class name ("" means interactive),
+// rejecting unknown names.
+func ParsePriority(s string) (Priority, error) { return sched.ParseClass(s) }
+
+// ErrQueueFull is the sentinel under queue-full load-shedding errors: a
+// request's class queue was at its bound on arrival, so the request was
+// rejected instead of queued (HTTP 429 from ssyncd).
+var ErrQueueFull = sched.ErrQueueFull
+
+// ErrDeadlineUnmeetable is the sentinel under deadline-admission
+// errors: on arrival the queue-wait estimate already exceeded the
+// request's deadline, so it was rejected immediately rather than queued
+// as doomed work (HTTP 503 from ssyncd).
+var ErrDeadlineUnmeetable = sched.ErrDeadline
+
+// ShedRetryAfter extracts the retry hint carried by a load-shed error
+// chain (ok=false for non-shed errors) — the same estimate ssyncd turns
+// into Retry-After headers.
+func ShedRetryAfter(err error) (time.Duration, bool) { return sched.RetryAfter(err) }
+
+// SchedulerStats snapshots the admission scheduler: slot occupancy,
+// total queue depth and per-class counters, taken under one lock.
+// EngineStats.Sched carries it (nil on unbounded engines).
+type SchedulerStats = sched.Stats
+
+// SchedulerClassStats is one priority class's row in a SchedulerStats
+// snapshot: depth, admitted/shed counts and queue-wait aggregates.
+type SchedulerClassStats = sched.ClassStats
 
 // ---- composable pass pipelines ----
 
