@@ -1,0 +1,222 @@
+// Command bench runs the repo's service-level benchmarks —
+// BenchmarkBatchCompile and BenchmarkStagePrefixReuse in the root
+// package, BenchmarkSchedulerMixedLoad in internal/engine — and
+// records the results plus directly measured cache hit rates as one
+// JSON document (BENCH_<pr>.json), the recorded baseline later PRs
+// diff their numbers against.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-pr 6] [-out BENCH_6.json] [-benchtime 1x]
+//
+// The harness shells out to `go test -bench` (so the numbers are the
+// same ones a developer sees) and parses the standard benchmark output
+// lines; it must run from the repository root.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+
+	ssync "ssync"
+)
+
+// benchResult is one parsed `go test -bench` result line.
+type benchResult struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix, e.g. "BenchmarkBatchCompile/workers-4-8".
+	Name string `json:"name"`
+	// N is the iteration count the framework settled on.
+	N int64 `json:"n"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present when the benchmark ran with
+	// -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// cacheRates are hit rates measured directly through the engine API:
+// the same three-route-variant pipeline workload compiled twice, so
+// the second round exercises both the finished-result cache and
+// stage-prefix reuse.
+type cacheRates struct {
+	// ResultHitRate is hits/lookups on the finished-result cache after
+	// both rounds (round two's identical requests all hit).
+	ResultHitRate float64 `json:"result_hit_rate"`
+	// StageHitRate is restored-prefix stage executions over all stage
+	// executions (runs + restored).
+	StageHitRate float64 `json:"stage_hit_rate"`
+	// Compiled / Coalesced / Requests summarise the workload.
+	Compiled uint64 `json:"compiled"`
+	Requests int    `json:"requests"`
+}
+
+type document struct {
+	PR        int           `json:"pr"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	BenchTime string        `json:"benchtime"`
+	Results   []benchResult `json:"results"`
+	Cache     cacheRates    `json:"cache"`
+}
+
+// resultLineRe matches a standard benchmark result line:
+//
+//	BenchmarkName-8   	     100	  10934011 ns/op	 1234 B/op	  56 allocs/op
+var resultLineRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func parseBenchOutput(out string) []benchResult {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		m := resultLineRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: m[1], N: n, NsPerOp: ns}
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			r.AllocsPerOp = &v
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// runBench executes one `go test -bench` invocation and parses its
+// result lines.
+func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench %s %s: %w\n%s", pattern, pkg, err, out)
+	}
+	results := parseBenchOutput(string(out))
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark results parsed from %s %s:\n%s", pkg, pattern, out)
+	}
+	return results, nil
+}
+
+// measureCacheRates compiles a three-route-variant pipeline workload
+// twice through a fresh engine: variants share a decompose→place
+// prefix (stage reuse within round one), and round two repeats every
+// request exactly (result-cache hits).
+func measureCacheRates() (cacheRates, error) {
+	eng := ssync.NewEngine(ssync.EngineOptions{Workers: runtime.NumCPU(), StageCacheSize: 256})
+	var requests []ssync.CompileRequest
+	for _, bench := range []string{"BV_12", "QFT_12"} {
+		c, err := ssync.Benchmark(bench)
+		if err != nil {
+			return cacheRates{}, err
+		}
+		topo := ssync.GridDevice(2, 2, 8)
+		for _, route := range []string{ssync.RouteSSyncPass, ssync.RouteMuraliPass, ssync.RouteDaiPass} {
+			requests = append(requests, ssync.CompileRequest{
+				Label: bench + "/" + route, Circuit: c, Topo: topo,
+				Pipeline: []ssync.PassSpec{
+					{Name: ssync.DecomposeBasisPass},
+					{Name: ssync.PlaceAnnealedPass},
+					{Name: route},
+				},
+			})
+		}
+	}
+	ctx := context.Background()
+	for round := 0; round < 2; round++ {
+		for _, req := range requests {
+			if res := eng.Do(ctx, req); res.Err != nil {
+				return cacheRates{}, fmt.Errorf("%s: %w", req.Label, res.Err)
+			}
+		}
+	}
+	st := eng.Stats()
+	rates := cacheRates{
+		Compiled: st.Compiled,
+		Requests: 2 * len(requests),
+	}
+	lookups := st.Cache.Hits + st.Cache.Misses
+	if lookups > 0 {
+		rates.ResultHitRate = float64(st.Cache.Hits) / float64(lookups)
+	}
+	var runs, restored uint64
+	for _, ps := range st.Passes {
+		runs += ps.Runs
+		restored += ps.CacheHits
+	}
+	if runs+restored > 0 {
+		rates.StageHitRate = float64(restored) / float64(runs+restored)
+	}
+	return rates, nil
+}
+
+func main() {
+	var (
+		pr        = flag.Int("pr", 6, "PR number stamped into the document (and the default output name)")
+		out       = flag.String("out", "", "output path (default BENCH_<pr>.json)")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+	)
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
+
+	doc := document{
+		PR:        *pr,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: *benchtime,
+	}
+
+	for _, spec := range []struct{ pkg, pattern string }{
+		{".", "^(BenchmarkBatchCompile|BenchmarkStagePrefixReuse)$"},
+		{"./internal/engine", "^BenchmarkSchedulerMixedLoad$"},
+	} {
+		fmt.Fprintf(os.Stderr, "bench: running %s in %s\n", spec.pattern, spec.pkg)
+		results, err := runBench(spec.pkg, spec.pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		doc.Results = append(doc.Results, results...)
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: measuring cache hit rates")
+	rates, err := measureCacheRates()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc.Cache = rates
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: wrote %s (%d results)\n", path, len(doc.Results))
+}

@@ -19,11 +19,21 @@
 // 503 + Retry-After instead of timing out after queueing. GET /v2/stats
 // reports the scheduler under "sched".
 //
+// The service is observable end to end: every request gets an
+// X-Request-ID (minted, or accepted from the caller) that appears on
+// all of its structured log lines (-log-format json|text, -log-level),
+// GET /metrics exposes Prometheus counters/gauges/histograms for the
+// scheduler, artifact store, passes and HTTP layer, -debug-addr starts
+// a separate net/http/pprof listener, and -stats-file periodically
+// flushes the /v2/stats document to disk.
+//
 // Usage:
 //
 //	ssyncd -addr :8484 -workers 8 -queue 256 -cache 1024 -stage-cache 1024 \
 //	    -cache-dir /var/cache/ssyncd -cache-disk-max 268435456 \
-//	    -timeout 60s -drain 30s
+//	    -timeout 60s -drain 30s \
+//	    -log-format json -log-level info -debug-addr localhost:8485 \
+//	    -stats-file /var/run/ssyncd/stats.json -stats-interval 1m
 //
 // Endpoints:
 //
@@ -31,6 +41,7 @@
 //	POST /v2/batch     {"requests":[{...},{...}]}
 //	GET  /v2/compilers
 //	GET  /v2/stats
+//	GET  /metrics      (Prometheus text exposition)
 //	POST /v1/compile   (frozen schema; thin adapter over /v2)
 //	POST /v1/batch
 //	GET  /v1/stats
@@ -41,18 +52,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"ssync/internal/engine"
+	"ssync/internal/obs"
 )
 
 func main() {
@@ -68,25 +85,39 @@ func main() {
 			"persistent on-disk cache tier directory; results survive restarts (empty disables; one live daemon per directory — do not share between concurrent instances)")
 		cacheDiskMax = flag.Int64("cache-disk-max", engine.DefaultDiskMax,
 			"disk-tier size cap in bytes, LRU-by-access eviction (negative = unbounded)")
-		timeout = flag.Duration("timeout", 60*time.Second, "default per-job compile timeout (0 = unbounded)")
-		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
+		timeout   = flag.Duration("timeout", 60*time.Second, "default per-job compile timeout (0 = unbounded)")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-pass and trace-span lines)")
+		debugAddr = flag.String("debug-addr", "",
+			"separate listen address for net/http/pprof and a /metrics mirror (empty disables; bind to localhost)")
+		statsFile = flag.String("stats-file", "",
+			"periodically write the /v2/stats document to this file, atomically (empty disables)")
+		statsInterval = flag.Duration("stats-interval", time.Minute, "interval between -stats-file flushes")
 	)
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	eng, err := engine.Open(engine.Options{
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := newObservedServer(engine.Options{
 		CacheSize:      *cache,
 		StageCacheSize: *stageCache,
 		CacheDir:       *cacheDir,
 		DiskMax:        *cacheDiskMax,
 		Workers:        *workers,
 		QueueLimit:     *queue,
-	})
+	}, *workers, *timeout, logger)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := newServer(eng, *workers, *timeout)
 	hs := &http.Server{
 		Handler: srv.routes(),
 		// Bound how long a client may dribble headers/body and how long an
@@ -102,12 +133,87 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := http.Serve(dln, debugMux(srv)); !errors.Is(err, http.ErrServerClosed) && err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener started", "addr", dln.Addr().String())
+	}
+	if *statsFile != "" {
+		go flushStats(ctx, srv, *statsFile, *statsInterval, logger)
+	}
 	fmt.Printf("ssyncd listening on %s (workers=%d queue=%d cache=%d stage-cache=%d cache-dir=%q timeout=%s drain=%s)\n",
 		ln.Addr(), *workers, *queue, *cache, *stageCache, *cacheDir, *timeout, *drain)
 	if err := serve(ctx, hs, ln, *drain); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("ssyncd drained and stopped")
+}
+
+// debugMux builds the -debug-addr surface: the pprof handlers (an
+// explicit mux, so the choice to expose them is this function and not a
+// DefaultServeMux side effect) plus a /metrics mirror, so a scraper
+// pinned to the debug port needs no access to the service port.
+func debugMux(srv *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.reg)
+	return mux
+}
+
+// flushStats writes the /v2/stats document to path every interval
+// (temp file + rename, so readers never see a torn write), and once
+// more on shutdown so the final counters survive the process.
+func flushStats(ctx context.Context, srv *server, path string, interval time.Duration, logger *slog.Logger) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	write := func() {
+		doc, err := json.MarshalIndent(srv.statsV2(), "", "  ")
+		if err != nil {
+			logger.Warn("stats flush failed", "path", path, "err", err)
+			return
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".stats-*.tmp")
+		if err != nil {
+			logger.Warn("stats flush failed", "path", path, "err", err)
+			return
+		}
+		name := tmp.Name()
+		_, werr := tmp.Write(append(doc, '\n'))
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(name, path)
+		}
+		if werr != nil {
+			os.Remove(name)
+			logger.Warn("stats flush failed", "path", path, "err", werr)
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			write()
+			return
+		case <-tick.C:
+			write()
+		}
+	}
 }
 
 // serve runs hs on ln until ctx is cancelled (SIGINT/SIGTERM in main),

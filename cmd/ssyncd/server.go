@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"ssync/internal/circuit"
 	"ssync/internal/device"
 	"ssync/internal/engine"
+	"ssync/internal/obs"
 	"ssync/internal/qasm"
 	"ssync/internal/sched"
 	"ssync/internal/sim"
@@ -120,16 +122,66 @@ type server struct {
 	// so cache-hit requests skip simulation as well as compilation.
 	metrics  *engine.Cache[sim.Metrics]
 	requests atomic.Uint64
+	// log is the service logger; the instrument middleware derives the
+	// per-request logger (with request_id) from it. Never nil — newServer
+	// installs a discard logger.
+	log *slog.Logger
+	// reg is the Prometheus registry behind GET /metrics; snap mirrors
+	// the engine snapshot into it at scrape time, the http* families are
+	// updated inline by the middleware. Never nil.
+	reg      *obs.Registry
+	snap     *snapshotMetrics
+	httpReqs *obs.Metric
+	httpDur  *obs.Metric
+	inflight *obs.Metric
 }
 
 func newServer(eng *engine.Engine, workers int, timeout time.Duration) *server {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &server{
+	s := &server{
 		eng: eng, workers: workers, timeout: timeout, start: time.Now(),
 		metrics: engine.NewCache[sim.Metrics](engine.DefaultCacheSize),
+		log:     slog.New(slog.DiscardHandler),
 	}
+	s.setRegistry(obs.NewRegistry())
+	return s
+}
+
+// newObservedServer is the fully wired constructor main uses: it opens
+// the engine with event-level hooks feeding the server's registry, so
+// pass/queue-wait/disk-op histograms are live from the first request.
+// (newServer keeps its plain signature for tests and embedders; its
+// engine simply has no hooks attached.)
+func newObservedServer(opt engine.Options, workers int, timeout time.Duration, log *slog.Logger) (*server, error) {
+	reg := obs.NewRegistry()
+	opt.Hooks = obs.NewServiceMetrics(reg)
+	eng, err := engine.Open(opt)
+	if err != nil {
+		return nil, err
+	}
+	s := newServer(eng, workers, timeout)
+	if log != nil {
+		s.log = log
+	}
+	s.setRegistry(reg)
+	return s, nil
+}
+
+// setRegistry points the server at reg: it registers the HTTP families
+// plus the snapshot mirror there and hooks the engine snapshot into
+// the scrape path.
+func (s *server) setRegistry(reg *obs.Registry) {
+	s.reg = reg
+	s.httpReqs = reg.Counter("ssync_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.httpDur = reg.Histogram("ssync_http_request_duration_seconds",
+		"HTTP request duration, by route.", nil, "route")
+	s.inflight = reg.Gauge("ssync_http_requests_inflight",
+		"HTTP requests currently being served.")
+	s.snap = newSnapshotMetrics(reg)
+	reg.OnScrape(func() { s.snap.update(s.eng.Stats()) })
 }
 
 func (s *server) routes() http.Handler {
@@ -142,14 +194,14 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v2/compilers", s.handleCompilersV2)
 	mux.HandleFunc("/v2/passes", s.handlePassesV2)
 	mux.HandleFunc("/v2/stats", s.handleStatsV2)
-	return mux
+	mux.Handle("/metrics", s.reg)
+	return s.instrument(mux)
 }
 
 // handleCompile serves POST /v1/compile as a thin adapter: it enforces
 // the frozen v1 compiler enum, lifts the request into the v2 schema, and
 // strips the response back to v1 fields.
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -190,7 +242,6 @@ func validateV1Compiler(name string) error {
 // handleBatch serves POST /v1/batch as a thin adapter over the v2 batch
 // core, with the frozen v1 compiler enum applied per entry.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -223,7 +274,6 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return

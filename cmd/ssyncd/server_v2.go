@@ -10,6 +10,7 @@ import (
 	"ssync/internal/core"
 	"ssync/internal/engine"
 	"ssync/internal/mapping"
+	"ssync/internal/obs"
 	"ssync/internal/pass"
 	"ssync/internal/sched"
 	"ssync/internal/store"
@@ -96,6 +97,10 @@ type passTimingV2 struct {
 // coalescing and pipeline visibility.
 type compileResponseV2 struct {
 	compileResponse
+	// RequestID echoes the request's correlation ID (the X-Request-ID
+	// response header) in the body, so stored responses stay joinable to
+	// server logs. Batch entries share the enclosing request's ID.
+	RequestID string `json:"request_id,omitempty"`
 	// ErrorStatus classifies a failed batch entry with the HTTP status
 	// the same failure would earn on /v2/compile — 429 (class queue
 	// full) and 503 (deadline unmeetable) keep their load-shedding
@@ -129,6 +134,8 @@ type batchResponseV2 struct {
 	Results []compileResponseV2 `json:"results"`
 	// Errors counts entries that failed; the per-entry Error fields say why.
 	Errors int `json:"errors"`
+	// RequestID echoes the batch request's correlation ID.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type compilersResponseV2 struct {
@@ -519,7 +526,6 @@ func entryError(label string, err error, status int) compileResponseV2 {
 
 // handleCompileV2 serves POST /v2/compile.
 func (s *server) handleCompileV2(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -533,12 +539,12 @@ func (s *server) handleCompileV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	resp.RequestID = obs.RequestID(r.Context())
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleBatchV2 serves POST /v2/batch.
 func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -552,7 +558,7 @@ func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
-	resp := batchResponseV2{Results: results}
+	resp := batchResponseV2{Results: results, RequestID: obs.RequestID(r.Context())}
 	for _, r2 := range results {
 		if r2.Error != "" {
 			resp.Errors++
@@ -564,7 +570,6 @@ func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 // handleCompilersV2 serves GET /v2/compilers: the registered compiler
 // names a request may address.
 func (s *server) handleCompilersV2(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
@@ -576,7 +581,6 @@ func (s *server) handleCompilersV2(w http.ResponseWriter, r *http.Request) {
 // pipeline may compose, plus the canned pipelines behind the built-in
 // compiler names.
 func (s *server) handlePassesV2(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
@@ -598,11 +602,17 @@ func (s *server) handlePassesV2(w http.ResponseWriter, r *http.Request) {
 // per-pass aggregates — all rendered from one engine snapshot, so the
 // sections are mutually consistent.
 func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.statsV2())
+}
+
+// statsV2 renders the full /v2/stats body; the periodic stats-file
+// flusher (-stats-file) writes the same document, so an operator's
+// scraped files and live queries never disagree on schema.
+func (s *server) statsV2() statsResponseV2 {
 	st := s.eng.Stats()
 	resp := statsResponseV2{
 		statsResponse: s.statsV1From(st),
@@ -630,5 +640,5 @@ func (s *server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }

@@ -22,6 +22,7 @@ import (
 	"ssync/internal/core"
 	"ssync/internal/device"
 	"ssync/internal/mapping"
+	"ssync/internal/obs"
 	"ssync/internal/pass"
 	"ssync/internal/qasm"
 	"ssync/internal/sched"
@@ -142,6 +143,12 @@ type Response struct {
 	// gate-count delta). Cache hits report the timings of the compilation
 	// that produced the cached result. Empty for opaque compilers.
 	PassTimings []core.PassTiming
+	// Trace lists this request's ordered span records — admission wait,
+	// cache probes, executed passes, the coalesce wait of a follower —
+	// when the request context carried a trace (obs.WithTrace); nil
+	// otherwise. A coalesced follower's trace covers its own waits, not
+	// the leader's execution.
+	Trace []obs.Span
 }
 
 // Job is one compilation request in the PR-1 shape.
@@ -288,6 +295,11 @@ type Options struct {
 	// sched.DefaultQueueLimit; negative means unbounded queues (shedding
 	// by deadline only). Ignored when Workers <= 0.
 	QueueLimit int
+	// Hooks receives event-level instrumentation — executed passes, slot
+	// queue waits, disk-tier blob I/O — typically an
+	// obs.NewServiceMetrics feeding a Prometheus registry. Nil means not
+	// instrumented; counters remain available through Stats either way.
+	Hooks obs.Hooks
 }
 
 // DefaultCacheSize is the result-cache bound used when Options.CacheSize
@@ -320,7 +332,10 @@ type Engine struct {
 	// sched admission-controls compilations when Options.Workers > 0:
 	// only actual compiler executions hold a slot, acquired in the
 	// request's priority class. Nil on unbounded engines.
-	sched     *sched.Scheduler
+	sched *sched.Scheduler
+	// hooks receives event-level instrumentation; nil when the engine is
+	// not instrumented.
+	hooks     obs.Hooks
 	flights   flightGroup
 	compiled  atomic.Uint64
 	coalesced atomic.Uint64
@@ -335,7 +350,7 @@ type Engine struct {
 // errors (unwritable Options.CacheDir and the like). Engines without a
 // CacheDir cannot fail; New is the error-free constructor for them.
 func Open(opt Options) (*Engine, error) {
-	e := &Engine{passStats: make(map[string]PassStats)}
+	e := &Engine{passStats: make(map[string]PassStats), hooks: opt.Hooks}
 	if opt.Workers > 0 {
 		cc := sched.ClassConfig{QueueLimit: opt.QueueLimit}
 		e.sched = sched.New(sched.Config{
@@ -343,6 +358,7 @@ func Open(opt Options) (*Engine, error) {
 			Class: map[sched.Class]sched.ClassConfig{
 				sched.Interactive: cc, sched.Batch: cc, sched.Background: cc,
 			},
+			Hooks: opt.Hooks,
 		})
 	}
 	if opt.CacheSize < 0 {
@@ -363,6 +379,9 @@ func Open(opt Options) (*Engine, error) {
 		disk, err := store.OpenDisk(opt.CacheDir, max)
 		if err != nil {
 			return nil, err
+		}
+		if opt.Hooks != nil {
+			disk.SetHooks(opt.Hooks)
 		}
 		e.disk = disk
 	}
@@ -437,6 +456,11 @@ func (e *Engine) recordPasses(timings []core.PassTiming) {
 		e.passStats[t.Pass] = ps
 	}
 	e.passMu.Unlock()
+	if e.hooks != nil {
+		for _, t := range timings {
+			e.hooks.PassDone(t.Pass, t.Duration)
+		}
+	}
 }
 
 // recordStageHits counts stages whose execution was skipped because a
@@ -507,6 +531,11 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
 		defer cancel()
 	}
+	// Tracing and request-scoped logging are opt-in through the context
+	// (obs.WithTrace / obs.WithLogger, attached by ssyncd's edge); both
+	// degrade to no-ops on a bare context.
+	tr := obs.TraceFrom(ctx)
+	log := obs.Logger(ctx)
 	// Content addressing costs a full canonical render + hash per
 	// request, so it is skipped entirely on cacheless engines; Key stays
 	// zero there and coalescing (which is keyed) is skipped with it.
@@ -517,6 +546,7 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		} else {
 			out.PassTimings = out.Result.PassTimings
 		}
+		out.Trace = tr.Spans()
 		return out
 	}
 	// The canonical QASM render is the expensive shared ingredient of the
@@ -529,12 +559,17 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		return out
 	}
 	out.Key = key
-	if res, tier, ok := e.results.Get(store.Key(key), func(blob []byte) (*core.Result, error) {
+	probeStart := time.Now()
+	res, tier, ok := e.results.Get(store.Key(key), func(blob []byte) (*core.Result, error) {
 		return decodeResult(blob, req.Topo)
-	}); ok {
+	})
+	tr.Add("cache.results", probeStart, time.Since(probeStart))
+	if ok {
 		out.Result, out.CacheHit = res, true
 		out.CacheTier = tier.String()
 		out.PassTimings = res.PassTimings
+		out.Trace = tr.Spans()
+		log.Debug("engine: result cache hit", "key", key.String(), "tier", out.CacheTier)
 		return out
 	}
 	if err := ctx.Err(); err != nil {
@@ -546,6 +581,7 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	// is deregistered), so once a compilation for this key has started,
 	// no later request can ever start a second one: it either joins the
 	// flight or hits the cache.
+	flightStart := time.Now()
 	out.Result, out.Err, out.Coalesced = e.flights.do(ctx, key, func() (*core.Result, error) {
 		res, err := e.compile(ctx, x, req, qasmText)
 		if err == nil {
@@ -555,12 +591,19 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	})
 	if out.Coalesced {
 		e.coalesced.Add(1)
+		// The follower's own span and log line: it waited on an identical
+		// in-flight compilation under its own request ID, it did not run
+		// the leader's passes.
+		tr.Add("coalesce.wait", flightStart, time.Since(flightStart))
+		log.Debug("engine: coalesced onto identical in-flight request",
+			"key", key.String(), "wait_ms", float64(time.Since(flightStart))/float64(time.Millisecond))
 	}
 	if out.Err != nil {
 		e.errors.Add(1)
 	} else {
 		out.PassTimings = out.Result.PassTimings
 	}
+	out.Trace = tr.Spans()
 	return out
 }
 
@@ -583,8 +626,11 @@ func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
 // compilers and passes are cooperatively cancellable, so this runs on
 // the calling goroutine and holds it until compilation really stops.
 func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText string) (*core.Result, error) {
+	tr := obs.TraceFrom(ctx)
 	if e.sched != nil {
+		admitStart := time.Now()
 		release, err := e.sched.Acquire(ctx, req.Priority)
+		tr.Add("admission", admitStart, time.Since(admitStart))
 		if err != nil {
 			if sched.Shed(err) {
 				err = fmt.Errorf("engine: request %q: %w", req.Label, err)
@@ -606,6 +652,18 @@ func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText stri
 	}
 	e.compiled.Add(1)
 	e.recordPasses(executed)
+	// Reconstruct per-pass spans from the recorded timings: the passes
+	// just finished back-to-back, so walking the durations backwards from
+	// now recovers each stage's start to within scheduler noise — without
+	// threading the trace into every compiler's run loop.
+	if tr != nil && len(executed) > 0 {
+		end := time.Now()
+		for i := len(executed) - 1; i >= 0; i-- {
+			t := executed[i]
+			tr.Add("pass:"+t.Pass, end.Add(-t.Duration), t.Duration)
+			end = end.Add(-t.Duration)
+		}
+	}
 	if err != nil && ctx.Err() != nil {
 		err = fmt.Errorf("engine: request %q: %w", req.Label, err)
 	}
@@ -631,6 +689,8 @@ func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText st
 	chain := prefixKeys(req, x, qasmText)
 	start := 0
 	var st *pass.State
+	tr := obs.TraceFrom(ctx)
+	scanStart := time.Now()
 	for i := len(chain) - 1; i >= 0; i-- {
 		snap, _, ok := e.stages.Get(chain[i], pass.DecodeSnapshot)
 		if !ok {
@@ -642,8 +702,11 @@ func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText st
 		}
 		st, start = restored, i+1
 		e.recordStageHits(x.names[:start])
+		obs.Logger(ctx).Debug("engine: stage-prefix cache hit",
+			"stages", start, "of", len(x.passes))
 		break
 	}
+	tr.Add("cache.stages", scanStart, time.Since(scanStart))
 	if st == nil {
 		st = &pass.State{
 			Source:  req.Circuit,

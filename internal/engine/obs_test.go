@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssync/internal/core"
+	"ssync/internal/obs"
+)
+
+// obsContext builds a context with a distinct request ID, a logger
+// writing into the returned buffer (at debug), and a fresh trace.
+func obsContext(id string) (context.Context, *bytes.Buffer, *obs.Trace) {
+	var buf bytes.Buffer
+	ctx := obs.WithRequestID(context.Background(), id)
+	ctx = obs.WithLogger(ctx, slog.New(slog.NewTextHandler(&buf,
+		&slog.HandlerOptions{Level: slog.LevelDebug})).With("request_id", id))
+	tr := obs.NewTrace()
+	ctx = obs.WithTrace(ctx, tr)
+	return ctx, &buf, tr
+}
+
+func spanNames(spans []obs.Span) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func hasSpan(spans []obs.Span, name string) bool {
+	for _, s := range spans {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCoalescedFollowerKeepsOwnIdentity is the request-ID propagation
+// proof for the coalescing path: when a follower attaches to the
+// leader's in-flight compilation, its response still reports
+// Coalesced, its trace carries its own coalesce.wait span (not the
+// leader's pass spans), and its debug log lines carry the follower's
+// request ID — never the leader's.
+func TestCoalescedFollowerKeepsOwnIdentity(t *testing.T) {
+	var invocations atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	name := registerTestCompiler(t, "test/gated-obs", func(ctx context.Context, req Request) (*core.Result, error) {
+		if invocations.Add(1) == 1 {
+			close(started)
+			<-release
+		}
+		return core.CompileCtx(ctx, ssyncConfig(req), req.Circuit, req.Topo)
+	})
+
+	eng := New(Options{})
+	req := testRequest(t, "BV_12", "S-4", 8, name)
+	key, err := RequestKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leadCtx, leadBuf, _ := obsContext("leader-id")
+	folCtx, folBuf, _ := obsContext("follower-id")
+
+	var wg sync.WaitGroup
+	var leader, follower Response
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leader = eng.Do(leadCtx, req)
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		follower = eng.Do(folCtx, req)
+	}()
+	for deadline := time.Now().Add(10 * time.Second); eng.flights.waiting(key) < 1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never attached to the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if leader.Err != nil || follower.Err != nil {
+		t.Fatalf("leader err=%v follower err=%v", leader.Err, follower.Err)
+	}
+	if leader.Coalesced || !follower.Coalesced {
+		t.Fatalf("coalesced: leader=%v follower=%v, want false/true", leader.Coalesced, follower.Coalesced)
+	}
+
+	// The follower's trace is its own: a coalesce.wait span, no pass
+	// spans (it ran none).
+	if !hasSpan(follower.Trace, "coalesce.wait") {
+		t.Errorf("follower trace %v missing coalesce.wait", spanNames(follower.Trace))
+	}
+	for _, s := range follower.Trace {
+		if strings.HasPrefix(s.Name, "pass:") {
+			t.Errorf("follower trace carries leader pass span %q", s.Name)
+		}
+	}
+	// The leader ran the compilation; it must not claim the wait.
+	if hasSpan(leader.Trace, "coalesce.wait") {
+		t.Errorf("leader trace %v carries coalesce.wait", spanNames(leader.Trace))
+	}
+
+	// Each request logged under its own ID.
+	folLog := folBuf.String()
+	if !strings.Contains(folLog, "coalesced onto identical in-flight request") {
+		t.Errorf("follower log missing the coalescing mark:\n%s", folLog)
+	}
+	if !strings.Contains(folLog, "request_id=follower-id") {
+		t.Errorf("follower log lines missing the follower's request ID:\n%s", folLog)
+	}
+	if strings.Contains(folLog, "leader-id") {
+		t.Errorf("follower log lines carry the leader's request ID:\n%s", folLog)
+	}
+	if strings.Contains(leadBuf.String(), "follower-id") {
+		t.Errorf("leader log lines carry the follower's request ID:\n%s", leadBuf.String())
+	}
+}
+
+// TestTraceSpansCoverPipeline proves a traced pipeline compile records
+// the cache probe, admission and one span per executed pass, and that
+// a later identical request's trace shows the cache hit instead.
+func TestTraceSpansCoverPipeline(t *testing.T) {
+	eng := New(Options{Workers: 2, StageCacheSize: 16})
+	req := testRequest(t, "BV_12", "S-4", 8, CompilerSSync)
+
+	ctx, _, _ := obsContext("trace-test")
+	res := eng.Do(ctx, req)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.CacheHit {
+		t.Fatal("first request hit the cache")
+	}
+	for _, want := range []string{"cache.results", "admission", "cache.stages"} {
+		if !hasSpan(res.Trace, want) {
+			t.Errorf("trace %v missing %q", spanNames(res.Trace), want)
+		}
+	}
+	passSpans := 0
+	for _, s := range res.Trace {
+		if strings.HasPrefix(s.Name, "pass:") {
+			passSpans++
+		}
+	}
+	if passSpans != len(res.PassTimings) {
+		t.Errorf("%d pass spans for %d executed passes\n%v", passSpans, len(res.PassTimings), spanNames(res.Trace))
+	}
+	// Span offsets must be ordered and non-negative.
+	for i, s := range res.Trace {
+		if s.Start < 0 || s.Dur < 0 {
+			t.Errorf("span %s has negative offset/duration: %v/%v", s.Name, s.Start, s.Dur)
+		}
+		if i > 0 && s.Start < res.Trace[i-1].Start {
+			t.Errorf("spans not ordered by start: %v", spanNames(res.Trace))
+		}
+	}
+
+	ctx2, buf2, _ := obsContext("trace-hit")
+	hit := eng.Do(ctx2, req)
+	if hit.Err != nil || !hit.CacheHit {
+		t.Fatalf("second request: err=%v hit=%v", hit.Err, hit.CacheHit)
+	}
+	if !hasSpan(hit.Trace, "cache.results") {
+		t.Errorf("cache-hit trace %v missing cache.results", spanNames(hit.Trace))
+	}
+	if hasSpan(hit.Trace, "admission") {
+		t.Errorf("cache-hit trace %v went through admission", spanNames(hit.Trace))
+	}
+	if !strings.Contains(buf2.String(), "result cache hit") {
+		t.Errorf("cache hit not logged:\n%s", buf2.String())
+	}
+}
+
+// TestUntracedRequestHasNoTrace pins the opt-in contract: without
+// obs.WithTrace on the context, responses carry no spans and nothing
+// panics.
+func TestUntracedRequestHasNoTrace(t *testing.T) {
+	eng := New(Options{})
+	res := eng.Do(context.Background(), testRequest(t, "BV_12", "S-4", 8, CompilerSSync))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Trace != nil {
+		t.Errorf("untraced request returned spans: %v", spanNames(res.Trace))
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "time"
+
+// Hooks is the instrumentation interface the compilation layers call at
+// observation points: the engine reports each executed pass, the
+// admission scheduler reports queue waits of granted slots, and the
+// disk cache tier reports blob I/O latency. These are the events that
+// need distribution (histogram) fidelity — everything countable is
+// already in the layers' Stats snapshots and mirrored at scrape time
+// instead. Implementations must be safe for concurrent use; a nil
+// Hooks everywhere means "not instrumented". Embed NopHooks to stay
+// compatible as observation points are added.
+type Hooks interface {
+	// PassDone reports one executed pipeline pass and its wall time.
+	PassDone(pass string, d time.Duration)
+	// QueueWait reports the admission-queue wait of a granted worker
+	// slot (immediate grants never queue and are not reported).
+	QueueWait(class string, d time.Duration)
+	// DiskOp reports one disk-tier blob operation ("get"/"put"), whether
+	// it succeeded (a get hit, a clean put), and its latency — fsync
+	// spikes show up here first.
+	DiskOp(op string, ok bool, d time.Duration)
+}
+
+// NopHooks implements Hooks with no-ops; embed it in partial
+// implementations.
+type NopHooks struct{}
+
+func (NopHooks) PassDone(string, time.Duration)     {}
+func (NopHooks) QueueWait(string, time.Duration)    {}
+func (NopHooks) DiskOp(string, bool, time.Duration) {}
+
+// ServiceMetrics is the standard Hooks implementation: it registers the
+// service's event-level instrument families on a Registry and feeds
+// them. Wire it into engine.Options.Hooks and every pass execution,
+// queue wait and disk operation lands in the corresponding histogram.
+type ServiceMetrics struct {
+	pass *Metric
+	wait *Metric
+	disk *Metric
+}
+
+// NewServiceMetrics registers the standard event-level families on reg
+// and returns the Hooks feeding them.
+func NewServiceMetrics(reg *Registry) *ServiceMetrics {
+	return &ServiceMetrics{
+		pass: reg.Histogram("ssync_pass_duration_seconds",
+			"Wall time of executed compiler passes, by pass name.", nil, "pass"),
+		wait: reg.Histogram("ssync_sched_queue_wait_seconds",
+			"Admission-queue wait of granted worker slots, by priority class.", nil, "class"),
+		disk: reg.Histogram("ssync_store_disk_op_seconds",
+			"Disk cache tier blob operation latency, by operation and outcome.", nil, "op", "outcome"),
+	}
+}
+
+// PassDone implements Hooks.
+func (m *ServiceMetrics) PassDone(pass string, d time.Duration) {
+	m.pass.Observe(d.Seconds(), pass)
+}
+
+// QueueWait implements Hooks.
+func (m *ServiceMetrics) QueueWait(class string, d time.Duration) {
+	m.wait.Observe(d.Seconds(), class)
+}
+
+// DiskOp implements Hooks.
+func (m *ServiceMetrics) DiskOp(op string, ok bool, d time.Duration) {
+	outcome := "ok"
+	if !ok {
+		outcome = "miss"
+		if op == "put" {
+			outcome = "error"
+		}
+	}
+	m.disk.Observe(d.Seconds(), op, outcome)
+}

@@ -1,0 +1,75 @@
+// Package obs is the observability core shared by every layer of the
+// service: request IDs minted at the HTTP edge and threaded through
+// context, per-request structured loggers (log/slog) that carry the ID
+// on every line, a dependency-free Prometheus-text-format metrics
+// registry, per-request trace spans, and the instrumentation Hooks
+// interface the compilation layers (engine, sched, store) call into.
+// The package imports only the standard library, so internal packages
+// can depend on it without ever touching the HTTP layer.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync/atomic"
+)
+
+// ctxKey keys the package's context values; unexported so only this
+// package's accessors can read or write them.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxLogger
+	ctxTrace
+)
+
+// idFallback distinguishes minted IDs if crypto/rand ever fails (it
+// realistically cannot; the counter keeps IDs unique regardless).
+var idFallback atomic.Uint64
+
+// NewRequestID mints a 16-hex-character request ID. IDs are random, not
+// sequential, so two replicas (or a restart) cannot collide.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := idFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns ctx carrying the request ID; RequestID recovers
+// it anywhere downstream (engine, scheduler, passes).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when none was
+// attached.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithLogger returns ctx carrying a request-scoped logger. The HTTP edge
+// attaches a logger pre-bound with the request ID, so every line any
+// downstream layer logs through Logger(ctx) correlates to the request.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxLogger, l)
+}
+
+// Logger returns the request-scoped logger carried by ctx, falling back
+// to slog.Default(). Library layers log through this at debug level, so
+// embeddings that never attach a logger stay quiet under the default
+// info threshold.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxLogger).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return slog.Default()
+}

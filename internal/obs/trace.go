@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one recorded trace event: a named interval offset from the
+// trace origin. The engine records admission waits, cache probes,
+// coalesce waits and every executed pass as spans, so a single
+// request's wall time decomposes into where it actually went.
+type Span struct {
+	// Name identifies the event ("admission", "cache.results",
+	// "pass:route-ssync", "coalesce.wait", ...).
+	Name string `json:"name"`
+	// Start is the offset from the trace origin (the moment the request
+	// entered the edge).
+	Start time.Duration `json:"start"`
+	// Dur is the interval length.
+	Dur time.Duration `json:"dur"`
+}
+
+// Trace collects one request's ordered span records. Safe for
+// concurrent use — a coalesced leader and its followers may record
+// from different goroutines.
+type Trace struct {
+	origin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace whose origin is now.
+func NewTrace() *Trace { return &Trace{origin: time.Now()} }
+
+// Origin is the trace's zero point.
+func (t *Trace) Origin() time.Time { return t.origin }
+
+// Add records one span from its absolute start time and duration.
+func (t *Trace) Add(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.origin), Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans ordered by start offset.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WithTrace returns ctx carrying the trace; downstream layers recover
+// it with TraceFrom and record spans into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxTrace, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil when the request
+// is not being traced — recording against a nil *Trace is a no-op, so
+// instrumentation sites need no guard.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxTrace).(*Trace)
+	return t
+}

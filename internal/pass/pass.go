@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"ssync/internal/core"
 	"ssync/internal/device"
 	"ssync/internal/mapping"
+	"ssync/internal/obs"
 )
 
 // State is the shared pipeline state a compilation threads through its
@@ -281,6 +283,11 @@ func RunFrom(ctx context.Context, passes []Pass, st *State, start int, after fun
 	if st.Source == nil {
 		st.Source = st.Circuit
 	}
+	// The request-scoped logger (if the edge attached one) carries the
+	// request ID, so per-pass lines correlate to the request that ran
+	// them; the debug guard keeps the un-instrumented path free.
+	log := obs.Logger(ctx)
+	debug := log.Enabled(ctx, slog.LevelDebug)
 	wall := time.Now()
 	for i := start; i < len(passes); i++ {
 		p := passes[i]
@@ -292,11 +299,17 @@ func RunFrom(ctx context.Context, passes []Pass, st *State, start int, after fun
 		if err := p.Run(ctx, st); err != nil {
 			return nil, fmt.Errorf("pass: stage %d (%s): %w", i, p.Name(), err)
 		}
-		st.Timings = append(st.Timings, core.PassTiming{
+		t := core.PassTiming{
 			Pass:      p.Name(),
 			Duration:  time.Since(passStart),
 			GateDelta: st.gateCount() - before,
-		})
+		}
+		st.Timings = append(st.Timings, t)
+		if debug {
+			log.Debug("pass done", "pass", t.Pass, "stage", i,
+				"dur_ms", float64(t.Duration)/float64(time.Millisecond),
+				"gate_delta", t.GateDelta)
+		}
 		if after != nil {
 			after(i, st)
 		}

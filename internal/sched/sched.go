@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"ssync/internal/obs"
 )
 
 // Class names a priority class. The zero value ("") resolves to
@@ -95,6 +97,11 @@ type Config struct {
 	// Class overrides per-class weights and queue bounds; classes absent
 	// from the map keep their defaults.
 	Class map[Class]ClassConfig
+	// Hooks receives queue-wait observations for granted slots (nil: not
+	// instrumented). Shed decisions are also logged at debug level
+	// through the request context's logger, so a request-ID-threaded
+	// log shows why a request was rejected.
+	Hooks obs.Hooks
 }
 
 // Default per-class weights: a queued interactive request wins ~4 slot
@@ -152,6 +159,7 @@ type classState struct {
 // priority classes with bounded queues and deadline-aware admission. It
 // is safe for concurrent use.
 type Scheduler struct {
+	hooks   obs.Hooks // nil: not instrumented
 	mu      sync.Mutex
 	slots   int
 	busy    int
@@ -169,7 +177,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.Slots <= 0 {
 		panic("sched: New needs a positive slot count")
 	}
-	s := &Scheduler{slots: cfg.Slots}
+	s := &Scheduler{slots: cfg.Slots, hooks: cfg.Hooks}
 	for i := range s.classes {
 		cc := cfg.Class[Classes[i]]
 		if cc.Weight <= 0 {
@@ -222,6 +230,8 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 		c.shedQueueFull++
 		err := &QueueFullError{Class: Classes[idx], Limit: c.cfg.QueueLimit, Retry: s.waitLocked(idx, 1)}
 		s.mu.Unlock()
+		obs.Logger(ctx).Debug("sched: shed, queue full",
+			"class", string(Classes[idx]), "limit", err.Limit, "retry", err.Retry)
 		return nil, err
 	}
 	if dl, hasDL := ctx.Deadline(); hasDL && s.avgService > 0 {
@@ -230,6 +240,8 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 			c.shedDeadline++
 			err := &DeadlineError{Class: Classes[idx], Estimate: estimate, Remaining: remaining, Retry: estimate}
 			s.mu.Unlock()
+			obs.Logger(ctx).Debug("sched: shed, deadline unmeetable",
+				"class", string(Classes[idx]), "estimate", estimate, "remaining", remaining)
 			return nil, err
 		}
 	}
@@ -245,6 +257,9 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 		s.mu.Lock()
 		c.admitted++
 		s.mu.Unlock()
+		if s.hooks != nil {
+			s.hooks.QueueWait(string(Classes[idx]), time.Since(w.enqueued))
+		}
 		return s.releaseFunc(), nil
 	case <-ctx.Done():
 		s.mu.Lock()
