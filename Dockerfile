@@ -1,0 +1,17 @@
+# Two-stage build for ssyncd: compile in a Go toolchain image, run from
+# a minimal Alpine layer. The same image serves both process roles —
+# compose runs it as N replicas (-cache-shared over one mounted cache
+# volume) and one router (-mode=router) in front of them.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/ssyncd ./cmd/ssyncd
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 ssync && mkdir -p /cache && chown ssync /cache
+COPY --from=build /out/ssyncd /usr/local/bin/ssyncd
+USER ssync
+EXPOSE 8484
+ENTRYPOINT ["/usr/local/bin/ssyncd"]
+CMD ["-addr", ":8484"]

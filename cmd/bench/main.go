@@ -60,15 +60,28 @@ type cacheRates struct {
 	Requests int    `json:"requests"`
 }
 
+// routerOverhead compares a cache-hit compile request posted directly
+// to a replica against the same request through a -mode=router proxy
+// (BenchmarkRouterOverhead in cmd/ssyncd): the added latency is the
+// router tax — key computation, health bookkeeping, response
+// buffering, one extra HTTP hop.
+type routerOverhead struct {
+	DirectNsPerOp float64 `json:"direct_ns_per_op"`
+	RoutedNsPerOp float64 `json:"routed_ns_per_op"`
+	// OverheadPct is (routed-direct)/direct, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type document struct {
-	PR        int           `json:"pr"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	BenchTime string        `json:"benchtime"`
-	Results   []benchResult `json:"results"`
-	Cache     cacheRates    `json:"cache"`
+	PR        int             `json:"pr"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	BenchTime string          `json:"benchtime"`
+	Results   []benchResult   `json:"results"`
+	Cache     cacheRates      `json:"cache"`
+	Router    *routerOverhead `json:"router,omitempty"`
 }
 
 // resultLineRe matches a standard benchmark result line:
@@ -167,11 +180,77 @@ func measureCacheRates() (cacheRates, error) {
 	return rates, nil
 }
 
+// routerSection derives the router-overhead summary from the parsed
+// BenchmarkRouterOverhead sub-results (nil if either half is missing).
+func routerSection(results []benchResult) *routerOverhead {
+	var direct, routed float64
+	for _, r := range results {
+		switch {
+		case strings.Contains(r.Name, "BenchmarkRouterOverhead/direct"):
+			direct = r.NsPerOp
+		case strings.Contains(r.Name, "BenchmarkRouterOverhead/routed"):
+			routed = r.NsPerOp
+		}
+	}
+	if direct == 0 || routed == 0 {
+		return nil
+	}
+	return &routerOverhead{
+		DirectNsPerOp: direct,
+		RoutedNsPerOp: routed,
+		OverheadPct:   100 * (routed - direct) / direct,
+	}
+}
+
+// findBaseline locates the previous PR's document: the BENCH_<k>.json
+// with the largest k below pr.
+func findBaseline(pr int) (string, bool) {
+	for k := pr - 1; k >= 0; k-- {
+		path := fmt.Sprintf("BENCH_%d.json", k)
+		if _, err := os.Stat(path); err == nil {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// printDelta diffs the new document's benchmark timings against the
+// baseline's, by full benchmark name, on stderr. Benchmarks present on
+// only one side are listed but not compared.
+func printDelta(baselinePath string, doc document) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: cannot read baseline %s: %v\n", baselinePath, err)
+		return
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: cannot parse baseline %s: %v\n", baselinePath, err)
+		return
+	}
+	prev := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		prev[r.Name] = r.NsPerOp
+	}
+	fmt.Fprintf(os.Stderr, "bench: delta vs %s (PR %d)\n", baselinePath, base.PR)
+	for _, r := range doc.Results {
+		old, ok := prev[r.Name]
+		if !ok || old == 0 {
+			fmt.Fprintf(os.Stderr, "  %-55s %12.0f ns/op  (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-55s %12.0f ns/op  %+7.1f%%\n",
+			r.Name, r.NsPerOp, 100*(r.NsPerOp-old)/old)
+	}
+}
+
 func main() {
 	var (
-		pr        = flag.Int("pr", 6, "PR number stamped into the document (and the default output name)")
+		pr        = flag.Int("pr", 7, "PR number stamped into the document (and the default output name)")
 		out       = flag.String("out", "", "output path (default BENCH_<pr>.json)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		baseline  = flag.String("baseline", "",
+			"previous BENCH_<pr>.json to diff against (default: highest-numbered BENCH_<k>.json with k below -pr; \"none\" disables)")
 	)
 	flag.Parse()
 	path := *out
@@ -191,6 +270,7 @@ func main() {
 	for _, spec := range []struct{ pkg, pattern string }{
 		{".", "^(BenchmarkBatchCompile|BenchmarkStagePrefixReuse)$"},
 		{"./internal/engine", "^BenchmarkSchedulerMixedLoad$"},
+		{"./cmd/ssyncd", "^BenchmarkRouterOverhead$"},
 	} {
 		fmt.Fprintf(os.Stderr, "bench: running %s in %s\n", spec.pattern, spec.pkg)
 		results, err := runBench(spec.pkg, spec.pattern, *benchtime)
@@ -208,6 +288,7 @@ func main() {
 		os.Exit(1)
 	}
 	doc.Cache = rates
+	doc.Router = routerSection(doc.Results)
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -219,4 +300,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("bench: wrote %s (%d results)\n", path, len(doc.Results))
+	if doc.Router != nil {
+		fmt.Printf("bench: router overhead on cache hits: %.0f ns direct, %.0f ns routed (%+.1f%%)\n",
+			doc.Router.DirectNsPerOp, doc.Router.RoutedNsPerOp, doc.Router.OverheadPct)
+	}
+	if *baseline != "none" {
+		bp := *baseline
+		if bp == "" {
+			var ok bool
+			if bp, ok = findBaseline(*pr); !ok {
+				fmt.Fprintln(os.Stderr, "bench: no earlier BENCH_<k>.json baseline found; skipping delta")
+				return
+			}
+		}
+		printDelta(bp, doc)
+	}
 }

@@ -82,7 +82,9 @@ func main() {
 		stageCache = flag.Int("stage-cache", engine.DefaultStageCacheSize,
 			"per-stage snapshot cache entries for pipeline prefix reuse (0 disables)")
 		cacheDir = flag.String("cache-dir", "",
-			"persistent on-disk cache tier directory; results survive restarts (empty disables; one live daemon per directory — do not share between concurrent instances)")
+			"persistent on-disk cache tier directory; results survive restarts (empty disables; one live daemon per directory unless -cache-shared)")
+		cacheShared = flag.Bool("cache-shared", false,
+			"open -cache-dir as a cross-process shared tier (advisory file locking), so N replica daemons can mount one directory and serve each other's compiled results")
 		cacheDiskMax = flag.Int64("cache-disk-max", engine.DefaultDiskMax,
 			"disk-tier size cap in bytes, LRU-by-access eviction (negative = unbounded)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "default per-job compile timeout (0 = unbounded)")
@@ -94,6 +96,10 @@ func main() {
 		statsFile = flag.String("stats-file", "",
 			"periodically write the /v2/stats document to this file, atomically (empty disables)")
 		statsInterval = flag.Duration("stats-interval", time.Minute, "interval between -stats-file flushes")
+		mode         = flag.String("mode", "replica",
+			"process role: \"replica\" serves compilations; \"router\" fronts a fleet of replicas, consistent-hashing each request's cache key so identical circuits land on the replica already holding (or compiling) their result")
+		replicas = flag.String("replicas", "",
+			"router mode: comma-separated replica base URLs (e.g. http://replica1:8484,http://replica2:8484)")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -107,11 +113,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	switch *mode {
+	case "router":
+		if err := runRouter(*addr, *replicas, *drain, logger); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "replica":
+	default:
+		log.Fatalf("unknown -mode %q (want replica or router)", *mode)
+	}
 	srv, err := newObservedServer(engine.Options{
 		CacheSize:      *cache,
 		StageCacheSize: *stageCache,
 		CacheDir:       *cacheDir,
 		DiskMax:        *cacheDiskMax,
+		SharedCache:    *cacheShared,
 		Workers:        *workers,
 		QueueLimit:     *queue,
 	}, *workers, *timeout, logger)

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ssync/internal/cluster"
+	"ssync/internal/engine"
+)
+
+// BenchmarkRouterOverhead measures what -mode=router adds to a
+// cache-hit compile request: the direct sub-benchmark posts straight to
+// a replica, the routed one goes through a cluster.Router fronting that
+// same replica (full key computation, health tracking, response
+// buffering). The workload is a warm result-cache hit — the case where
+// proxy overhead is largest relative to the work — so the delta bounds
+// the router tax from above.
+func BenchmarkRouterOverhead(b *testing.B) {
+	eng, err := engine.Open(engine.Options{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newServer(eng, 4, time.Minute)
+	replica := httptest.NewServer(srv.routes())
+	defer replica.Close()
+	router, err := cluster.New(cluster.Options{
+		Replicas: []string{replica.URL},
+		KeyFn:    routerRequestKey,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close()
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	const body = `{"benchmark":"QFT_10","topology":"G-2x3"}`
+	post := func(url string) error {
+		resp, err := http.Post(url+"/v2/compile", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm the result cache so every measured request is a hit.
+	if err := post(replica.URL); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(replica.URL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("routed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(front.URL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

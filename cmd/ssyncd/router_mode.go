@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssync/internal/cluster"
+	"ssync/internal/obs"
+)
+
+// runRouter is -mode=router: the process becomes a consistent-hash
+// reverse proxy over the -replicas fleet instead of a compiler. Requests
+// are keyed router-side with the same v4 content address the replicas
+// cache under (routerRequestKey), so identical circuits land on one
+// replica and keep single-flight coalescing; replica health and queue
+// pressure come from polling each replica's /v2/stats, and traffic
+// spills to the second shard on the ring when its home is down or
+// shedding. The router's own GET /metrics exposes the ssync_cluster_*
+// families, and GET /cluster/stats the fleet snapshot.
+func runRouter(addr, replicaList string, drain time.Duration, logger *slog.Logger) error {
+	var urls []string
+	for _, u := range strings.Split(replicaList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-mode=router needs -replicas (comma-separated base URLs)")
+	}
+	reg := obs.NewRegistry()
+	router, err := cluster.New(cluster.Options{
+		Replicas:     urls,
+		KeyFn:        routerRequestKey,
+		Logger:       logger,
+		Registry:     reg,
+		MaxBodyBytes: maxRequestBytes,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	hs := &http.Server{
+		Handler:           router,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("ssyncd router listening on %s (replicas=%s)\n", ln.Addr(), strings.Join(urls, ","))
+	if err := serve(ctx, hs, ln, drain); err != nil {
+		return err
+	}
+	fmt.Println("ssyncd router drained and stopped")
+	return nil
+}

@@ -338,6 +338,66 @@ func schedParams(ctx context.Context, req compileRequestV2, def sched.Class, arr
 // compile slots instead of saturating every request goroutine at once.
 // def is the class an entry without an explicit priority lands in;
 // arrival anchors the entry's deadline_ms budget.
+// resolveStrategy resolves a wire request's execution plan: the registry
+// name or explicit pipeline, plus the mapping/anneal overrides folded
+// into their config structs. It performs the cheap field-level
+// validation (compiler existence, mutually exclusive fields, inert
+// overrides) and nothing else — no circuit or topology construction —
+// so both the server's buildRequest and the cluster router's key
+// computation resolve a request identically.
+func resolveStrategy(req compileRequestV2) (name string, cfg *core.Config, ann *mapping.AnnealConfig, err error) {
+	name = req.Compiler
+	if len(req.Pipeline) > 0 {
+		if name != "" {
+			return "", nil, nil, fmt.Errorf("pass either compiler or pipeline, not both")
+		}
+		// Build (and discard) the pipeline now so malformed stages fail
+		// as 400s with the offending stage named, not as compile errors.
+		built, err := pass.Build(pipelineSpecs(req.Pipeline))
+		if err != nil {
+			return "", nil, nil, err
+		}
+		// Reject overrides no stage would read — a mis-placed knob must
+		// not succeed silently with a different compilation than asked.
+		use := pass.PipelineUse(built)
+		if req.Mapping != "" && !use.Config && !use.Mapping {
+			return "", nil, nil, fmt.Errorf("mapping override is inert: no pipeline stage reads the scheduler or mapping config")
+		}
+		if req.AnnealSeed != nil && !use.Anneal {
+			return "", nil, nil, fmt.Errorf("anneal_seed is inert: no pipeline stage reads the annealer config (add %s)", pass.PlaceAnnealed)
+		}
+	} else {
+		if name == "" {
+			name = engine.CompilerSSync
+		}
+		if !engine.Registered(name) {
+			return "", nil, nil, &engine.UnknownCompilerError{Name: name, Known: engine.Compilers()}
+		}
+	}
+	if req.Mapping != "" {
+		if name == engine.CompilerMurali || name == engine.CompilerDai {
+			return "", nil, nil, fmt.Errorf("mapping override applies to the ssync compiler only")
+		}
+		strat, err := mapping.ParseStrategy(req.Mapping)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		c := core.DefaultConfig()
+		c.Mapping.Strategy = strat
+		cfg = &c
+	}
+	if req.AnnealSeed != nil {
+		switch name {
+		case engine.CompilerMurali, engine.CompilerDai, engine.CompilerSSync:
+			return "", nil, nil, fmt.Errorf("anneal_seed applies to the %q compiler only", engine.CompilerSSyncAnnealed)
+		}
+		a := mapping.DefaultAnnealConfig()
+		a.Seed = *req.AnnealSeed
+		ann = &a
+	}
+	return name, cfg, ann, nil
+}
+
 func (s *server) buildRequest(ctx context.Context, req compileRequestV2, def sched.Class, arrival time.Time) (engine.Request, error) {
 	var out engine.Request
 	ctx, cancel, class, deadline, err := schedParams(ctx, req, def, arrival)
@@ -345,56 +405,9 @@ func (s *server) buildRequest(ctx context.Context, req compileRequestV2, def sch
 	if err != nil {
 		return engine.Request{}, err
 	}
-	name := req.Compiler
-	if len(req.Pipeline) > 0 {
-		if name != "" {
-			return engine.Request{}, fmt.Errorf("pass either compiler or pipeline, not both")
-		}
-		// Build (and discard) the pipeline now so malformed stages fail
-		// as 400s with the offending stage named, not as compile errors.
-		built, err := pass.Build(pipelineSpecs(req.Pipeline))
-		if err != nil {
-			return engine.Request{}, err
-		}
-		// Reject overrides no stage would read — a mis-placed knob must
-		// not succeed silently with a different compilation than asked.
-		use := pass.PipelineUse(built)
-		if req.Mapping != "" && !use.Config && !use.Mapping {
-			return engine.Request{}, fmt.Errorf("mapping override is inert: no pipeline stage reads the scheduler or mapping config")
-		}
-		if req.AnnealSeed != nil && !use.Anneal {
-			return engine.Request{}, fmt.Errorf("anneal_seed is inert: no pipeline stage reads the annealer config (add %s)", pass.PlaceAnnealed)
-		}
-	} else {
-		if name == "" {
-			name = engine.CompilerSSync
-		}
-		if !engine.Registered(name) {
-			return engine.Request{}, &engine.UnknownCompilerError{Name: name, Known: engine.Compilers()}
-		}
-	}
-	var cfg *core.Config
-	if req.Mapping != "" {
-		if name == engine.CompilerMurali || name == engine.CompilerDai {
-			return engine.Request{}, fmt.Errorf("mapping override applies to the ssync compiler only")
-		}
-		strat, err := mapping.ParseStrategy(req.Mapping)
-		if err != nil {
-			return engine.Request{}, err
-		}
-		c := core.DefaultConfig()
-		c.Mapping.Strategy = strat
-		cfg = &c
-	}
-	var ann *mapping.AnnealConfig
-	if req.AnnealSeed != nil {
-		switch name {
-		case engine.CompilerMurali, engine.CompilerDai, engine.CompilerSSync:
-			return engine.Request{}, fmt.Errorf("anneal_seed applies to the %q compiler only", engine.CompilerSSyncAnnealed)
-		}
-		a := mapping.DefaultAnnealConfig()
-		a.Seed = *req.AnnealSeed
-		ann = &a
+	name, cfg, ann, err := resolveStrategy(req)
+	if err != nil {
+		return engine.Request{}, err
 	}
 	if err := s.eng.LimitAs(ctx, class, func() error {
 		c, err := buildCircuit(req)

@@ -269,17 +269,25 @@ type Options struct {
 	// that directory: finished results (and stage snapshots, when the
 	// stage cache is on) are written as crash-safe content-addressed
 	// blobs, so a restarted engine serves previously compiled requests
-	// without re-running any pass. The directory must belong to one live
-	// engine at a time — concurrent engines over one directory make each
-	// other's evictions read as corrupt-blob misses and let the combined
-	// footprint exceed DiskMax (results stay correct; the cache churns).
-	// Use Open to surface directory errors; New panics on them. Ignored
-	// by cacheless engines.
+	// without re-running any pass. Without SharedCache the directory must
+	// belong to one live engine at a time — concurrent engines over one
+	// directory make each other's evictions read as corrupt-blob misses
+	// and let the combined footprint exceed DiskMax (results stay
+	// correct; the cache churns). Use Open to surface directory errors;
+	// New panics on them. Ignored by cacheless engines.
 	CacheDir string
 	// DiskMax bounds the disk tier's total bytes, evicting least
 	// recently accessed blobs first: 0 selects DefaultDiskMax, negative
 	// means unbounded.
 	DiskMax int64
+	// SharedCache opens CacheDir as a cross-process shared tier
+	// (store.OpenDiskShared): advisory per-blob file locks plus an
+	// eviction lease let N engine processes — replica daemons behind a
+	// cluster router — mount one directory safely, so a request compiled
+	// by one replica is a disk hit on every other. In shared mode DiskMax
+	// caps the directory's combined footprint, not this engine's share.
+	// Ignored without CacheDir.
+	SharedCache bool
 	// Workers, when positive, bounds concurrent *compilations*
 	// engine-wide through the admission scheduler (internal/sched):
 	// cache misses acquire a worker slot in their Request.Priority class,
@@ -376,7 +384,11 @@ func Open(opt Options) (*Engine, error) {
 		case max < 0:
 			max = 0 // store: unbounded
 		}
-		disk, err := store.OpenDisk(opt.CacheDir, max)
+		open := store.OpenDisk
+		if opt.SharedCache {
+			open = store.OpenDiskShared
+		}
+		disk, err := open(opt.CacheDir, max)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -42,9 +45,14 @@ type DiskStats struct {
 	Rejected uint64
 	Entries  int
 	// Bytes is the current on-disk footprint; MaxBytes the configured cap
-	// (0 = unbounded).
+	// (0 = unbounded). In shared mode both describe the local view —
+	// blobs this process has written or served — which lags the
+	// directory's combined footprint between eviction rescans.
 	Bytes    int64
 	MaxBytes int64
+	// Shared reports that the tier was opened with OpenDiskShared and
+	// coordinates with other processes over the same directory.
+	Shared bool
 }
 
 // diskEntry is the in-memory index record for one blob.
@@ -66,17 +74,23 @@ type diskEntry struct {
 // a valid name). The tier is size-capped with LRU-by-access eviction
 // (O(1): the index keeps a recency list, seeded from file mtimes on
 // Open); access times are mirrored onto file mtimes so recency survives
-// restarts. Safe for concurrent use within one process; multiple Disks
-// over one directory — including two daemons sharing a cache dir — are
-// not supported: each assumes it owns the index, so the other's
-// evictions read as corrupt-blob misses and the byte caps drift.
+// restarts. Safe for concurrent use within one process. Multiple Disks
+// over one directory — N replica daemons mounting one cache dir —
+// require shared mode (OpenDiskShared), which coordinates eviction and
+// reads across processes with advisory file locks; a plain OpenDisk
+// tier assumes it owns the index, so another daemon's evictions would
+// read as corrupt-blob misses and the byte caps would drift.
 type Disk struct {
 	// hooks receives per-operation latency observations; nil means not
 	// instrumented. Set once via SetHooks before concurrent use.
 	hooks obs.Hooks
-	mu    sync.Mutex
-	dir   string
-	max   int64 // <= 0: unbounded
+	// shared marks a tier opened with OpenDiskShared: reads take shared
+	// flocks, index misses probe the directory, and eviction runs under
+	// the cross-process lease instead of trusting the local index.
+	shared bool
+	mu     sync.Mutex
+	dir    string
+	max    int64 // <= 0: unbounded
 	// size is the summed byte footprint of ll's entries; ll orders blobs
 	// most-recently-accessed first, index addresses its elements by key.
 	size      int64
@@ -97,13 +111,17 @@ type Disk struct {
 // restarts. Foreign files in the directory are left untouched and do not
 // count against the cap.
 func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
+	return openDisk(dir, maxBytes, false)
+}
+
+func openDisk(dir string, maxBytes int64, shared bool) (*Disk, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: disk tier needs a directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: disk tier: %w", err)
 	}
-	d := &Disk{dir: dir, max: maxBytes, ll: list.New(), index: make(map[Key]*list.Element)}
+	d := &Disk{dir: dir, max: maxBytes, shared: shared, ll: list.New(), index: make(map[Key]*list.Element)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: disk tier: %w", err)
@@ -111,8 +129,9 @@ func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
 	var found []*diskEntry
 	for _, e := range entries {
 		name := e.Name()
-		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name)) // interrupted write
+		if isTempName(name) {
+			info, _ := e.Info()
+			d.removeStrayTemp(name, info) // interrupted write (kept briefly in shared mode)
 			continue
 		}
 		key, ok := keyFromName(name)
@@ -133,9 +152,13 @@ func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
 		d.index[e.key] = d.ll.PushFront(e)
 		d.size += e.size
 	}
-	d.mu.Lock()
-	d.evictLocked()
-	d.mu.Unlock()
+	if shared {
+		d.sharedEvict()
+	} else {
+		d.mu.Lock()
+		d.evictLocked()
+		d.mu.Unlock()
+	}
 	return d, nil
 }
 
@@ -185,6 +208,11 @@ func (d *Disk) get(k Key) ([]byte, bool) {
 	d.mu.Lock()
 	el, ok := d.index[k]
 	if !ok {
+		if d.shared {
+			// Another replica may have written this key; probe the
+			// directory (getProbe releases the mutex).
+			return d.getProbe(k)
+		}
 		d.misses++
 		d.mu.Unlock()
 		return nil, false
@@ -192,7 +220,9 @@ func (d *Disk) get(k Key) ([]byte, bool) {
 	gen := el.Value.(*diskEntry).gen
 	d.mu.Unlock()
 
-	payload, err := readBlob(d.path(k))
+	// Shared mode reads under a shared flock so a concurrent evictor in
+	// another process never unlinks a blob mid-read.
+	payload, err := readBlob(d.path(k), d.shared)
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -205,11 +235,27 @@ func (d *Disk) get(k Key) ([]byte, bool) {
 	}
 	e := el.Value.(*diskEntry)
 	if err != nil {
+		if d.shared && errors.Is(err, fs.ErrNotExist) {
+			// Another replica evicted the blob under our index: a clean
+			// cross-process miss, not corruption.
+			d.size -= e.size
+			d.ll.Remove(el)
+			delete(d.index, k)
+			d.misses++
+			return nil, false
+		}
 		if e.gen == gen {
 			// The blob we read is the one the index describes, and it is
 			// bad: drop it. (A differing gen means a concurrent Put just
-			// replaced it — leave the fresh blob alone.)
-			os.Remove(d.path(k))
+			// replaced it — leave the fresh blob alone.) In shared mode
+			// the unlink additionally requires the exclusive lock and a
+			// stable mtime, so a replacement racing in from another
+			// process survives.
+			if d.shared {
+				removeBlobIfUnused(d.path(k), time.Time{})
+			} else {
+				os.Remove(d.path(k))
+			}
 			d.size -= e.size
 			d.ll.Remove(el)
 			delete(d.index, k)
@@ -256,7 +302,6 @@ func (d *Disk) put(k Key, payload []byte) error {
 		return err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if el, ok := d.index[k]; ok {
 		e := el.Value.(*diskEntry)
 		d.size += blobSize - e.size
@@ -268,7 +313,20 @@ func (d *Disk) put(k Key, payload []byte) error {
 		d.size += blobSize
 	}
 	d.puts++
-	d.evictLocked()
+	if !d.shared {
+		d.evictLocked()
+		d.mu.Unlock()
+		return nil
+	}
+	// Shared mode evicts against the directory's combined footprint, not
+	// the local index: run when the local view is over cap, and
+	// periodically regardless — other replicas' writes are invisible to
+	// the local byte count until a rescan.
+	evict := d.max > 0 && (d.size > d.max || d.puts%sharedEvictEvery == 0)
+	d.mu.Unlock()
+	if evict {
+		d.sharedEvict()
+	}
 	return nil
 }
 
@@ -301,6 +359,7 @@ func (d *Disk) Stats() DiskStats {
 		Hits: d.hits, Misses: d.misses, Puts: d.puts,
 		Evictions: d.evictions, Corrupt: d.corrupt, Rejected: d.rejected,
 		Entries: len(d.index), Bytes: d.size, MaxBytes: d.max,
+		Shared: d.shared,
 	}
 }
 
@@ -345,9 +404,23 @@ func writeBlob(dir, path string, payload []byte) error {
 	return nil
 }
 
-// readBlob reads and validates one blob, returning its payload.
-func readBlob(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+// readBlob reads and validates one blob, returning its payload. With
+// lock set (shared mode) the read holds a shared advisory flock, so a
+// cross-process evictor's exclusive lock cannot unlink the blob
+// mid-read; an unlink racing in before our lock is harmless — the open
+// file descriptor keeps the inode readable.
+func readBlob(path string, lock bool) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if lock {
+		if err := flockShared(f); err != nil {
+			return nil, err
+		}
+	}
+	data, err := io.ReadAll(f)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix fallbacks: no advisory locking. The locks are advisory
+// coordination between cooperating replicas, not a correctness
+// requirement for single-process use — blob reads stay miss-not-crash
+// either way — so platforms without flock degrade to the pre-shared
+// behaviour (one live process per cache directory).
+
+func flockShared(*os.File) error { return nil }
+
+func flockExclusiveNB(*os.File) bool { return true }
+
+func funlock(*os.File) {}

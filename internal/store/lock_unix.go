@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// Advisory cross-process file locking for the shared disk tier
+// (OpenDiskShared): readers hold a shared flock on a blob while reading
+// it, the evictor takes exclusive non-blocking flocks — on the lease
+// file to serialise eviction across replicas, and on each blob before
+// unlinking it — so eviction can never delete a blob another process is
+// mid-read on. flock is per open description, so two Disk handles in one
+// process coordinate exactly like two processes do.
+
+// flockShared takes a shared advisory lock on f, blocking until granted.
+// Blocking is safe here: the only exclusive holders (evictor, corrupt
+// cleanup) take the lock non-blocking and release it immediately after
+// the unlink, and an unlink under our feet still leaves the open inode
+// readable.
+func flockShared(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+}
+
+// flockExclusiveNB tries to take an exclusive advisory lock on f without
+// blocking; false means another handle holds the lock (a reader mid-read
+// or another evictor) and the caller must leave the file alone.
+func flockExclusiveNB(f *os.File) bool {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) == nil
+}
+
+// funlock releases an advisory lock early (Close releases it too; the
+// lease holder unlocks explicitly so contenders proceed the moment
+// eviction finishes, not when the deferred Close runs).
+func funlock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Shared mode lets N processes — ssyncd replicas behind the cluster
+// router — mount one cache directory as a common disk tier. The
+// crash-safe write path (temp file + fsync + rename) already makes
+// concurrent writers of one key resolve to a single winner; shared mode
+// adds the three cross-process guarantees the single-owner tier lacks:
+//
+//   - Visibility: a Get that misses the local in-memory index probes the
+//     directory directly, so a blob written by replica A is served — and
+//     adopted into the local index — by replica B.
+//   - Safe eviction: the byte cap is enforced against the directory's
+//     true combined footprint (local indexes only see their own puts),
+//     serialised across replicas by an exclusive flock on a lease file;
+//     each unlink first takes an exclusive non-blocking flock on the
+//     blob, so a blob another process holds a shared read lock on is
+//     never deleted mid-read.
+//   - Clean remote misses: a blob that vanishes under the local index
+//     because another replica evicted it reads as a plain miss, not a
+//     corrupt-blob drop.
+const (
+	// leaseName is the eviction lease: whichever replica holds its
+	// exclusive flock runs eviction; contenders skip (the work is already
+	// being done).
+	leaseName = "evict.lease"
+	// sharedTmpGrace protects another replica's in-flight temp file from
+	// Open's stray-temp cleanup; genuinely orphaned temps (a crashed
+	// writer) age past it and are removed by the next Open.
+	sharedTmpGrace = 10 * time.Minute
+	// sharedEvictEvery forces a footprint rescan every N local puts even
+	// while the local byte view is under cap, bounding how far the
+	// combined footprint can drift when every replica individually
+	// believes it fits.
+	sharedEvictEvery = 16
+)
+
+// OpenDiskShared opens a disk tier that may be safely mounted by
+// several processes at once (N ssyncd replicas over one -cache-dir).
+// Semantics match OpenDisk, with cross-process sharing as documented on
+// the shared-mode constants; maxBytes caps the directory's combined
+// footprint across all mounting processes (<= 0 means unbounded).
+func OpenDiskShared(dir string, maxBytes int64) (*Disk, error) {
+	return openDisk(dir, maxBytes, true)
+}
+
+// getProbe handles a shared-mode lookup whose key the local index does
+// not know: another replica may have written the blob, so read the file
+// directly (under a shared lock, so a concurrent evictor cannot unlink
+// it mid-read) and adopt it into the local index on success. Called
+// with d.mu held; returns with it released.
+func (d *Disk) getProbe(k Key) ([]byte, bool) {
+	d.mu.Unlock()
+	payload, err := readBlob(d.path(k), true)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err != nil {
+		// Not present (or not valid yet — a cross-process miss either
+		// way). A corrupt blob is left for the writer's overwrite or the
+		// evictor; counting it corrupt here would double-count across
+		// replicas.
+		d.misses++
+		return nil, false
+	}
+	if _, ok := d.index[k]; !ok {
+		size := int64(headerLen + len(payload))
+		d.index[k] = d.ll.PushFront(&diskEntry{key: k, size: size, last: time.Now()})
+		d.size += size
+	}
+	now := time.Now()
+	os.Chtimes(d.path(k), now, now) // mtime is the cross-process recency signal
+	d.hits++
+	return payload, true
+}
+
+// removeBlobIfUnused unlinks path only if an exclusive lock is
+// available — i.e. no other process (or handle) is mid-read on it — and
+// its mtime is not newer than notAfter (a writer may have just replaced
+// the blob with a fresh one; deleting that would evict the hottest data
+// first). Returns whether the unlink happened.
+func removeBlobIfUnused(path string, notAfter time.Time) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if !flockExclusiveNB(f) {
+		return false
+	}
+	if !notAfter.IsZero() {
+		if info, err := f.Stat(); err != nil || info.ModTime().After(notAfter) {
+			return false
+		}
+	}
+	return os.Remove(path) == nil
+}
+
+// sharedEvict enforces the byte cap against the directory's combined
+// footprint. One process at a time holds the eviction lease; the rest
+// skip — the holder is already doing the work, and the next over-cap
+// put retries. The holder rescans the directory (the only view that
+// includes every replica's writes), then unlinks blobs oldest-mtime
+// first — mtime doubles as cross-process access recency, maintained by
+// Get — skipping any blob a reader holds locked, until the footprint
+// fits.
+func (d *Disk) sharedEvict() {
+	if d.max <= 0 {
+		return
+	}
+	lease, err := os.OpenFile(filepath.Join(d.dir, leaseName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return
+	}
+	defer lease.Close()
+	if !flockExclusiveNB(lease) {
+		return
+	}
+	defer funlock(lease)
+
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	scanTime := time.Now()
+	type blobInfo struct {
+		key  Key
+		size int64
+		mod  time.Time
+	}
+	var blobs []blobInfo
+	var total int64
+	for _, e := range entries {
+		key, ok := keyFromName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		blobs = append(blobs, blobInfo{key: key, size: info.Size(), mod: info.ModTime()})
+		total += info.Size()
+	}
+	if total <= d.max {
+		return
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].mod.Before(blobs[j].mod) })
+	var removed []Key
+	for _, b := range blobs {
+		if total <= d.max {
+			break
+		}
+		if !removeBlobIfUnused(d.path(b.key), scanTime) {
+			continue // locked by a reader, vanished, or freshly replaced
+		}
+		total -= b.size
+		removed = append(removed, b.key)
+	}
+	if len(removed) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for _, k := range removed {
+		if el, ok := d.index[k]; ok {
+			e := el.Value.(*diskEntry)
+			d.size -= e.size
+			d.ll.Remove(el)
+			delete(d.index, k)
+		}
+		d.evictions++
+	}
+	d.mu.Unlock()
+}
+
+// removeStrayTemp removes an interrupted write's temp file. In shared
+// mode a recent temp may be another live replica's in-flight write —
+// removing it would make that writer's rename fail — so only temps
+// older than the grace period go.
+func (d *Disk) removeStrayTemp(name string, info os.FileInfo) {
+	if d.shared && (info == nil || time.Since(info.ModTime()) < sharedTmpGrace) {
+		return
+	}
+	os.Remove(filepath.Join(d.dir, name))
+}
+
+// isTempName reports whether name is one of writeBlob's temp files.
+func isTempName(name string) bool { return strings.HasSuffix(name, ".tmp") }

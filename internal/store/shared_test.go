@@ -1,0 +1,331 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sharedKey derives a deterministic test key from an integer.
+func sharedKey(i int) Key {
+	var k Key
+	for j := range k {
+		k[j] = byte(i * (j + 3))
+	}
+	k[0] = byte(i)
+	return k
+}
+
+// sharedPayload is a pure function of the key, so any process that wins
+// a concurrent Put race stored exactly the bytes every reader expects.
+func sharedPayload(k Key) []byte {
+	n := 512 + int(k[1])*7
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = k[i%len(k)]
+	}
+	return p
+}
+
+// TestSharedDiskCrossHandleVisibility is the two-handles-one-directory
+// contract: a blob written through one shared handle is served through
+// another whose in-memory index has never seen the key.
+func TestSharedDiskCrossHandleVisibility(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDiskShared(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenDiskShared(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sharedKey(1)
+	want := sharedPayload(k)
+	if err := a.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get(k)
+	if !ok {
+		t.Fatalf("handle B missed a blob handle A wrote")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("handle B read %d bytes, want %d", len(got), len(want))
+	}
+	if st := b.Stats(); st.Hits != 1 || !st.Shared {
+		t.Fatalf("stats = %+v, want 1 hit on a shared tier", st)
+	}
+}
+
+// TestSharedDiskRemoteEvictionIsCleanMiss: when another handle's
+// eviction unlinks a blob under this handle's index, the lookup is a
+// plain miss — never a corrupt-blob drop, never an error.
+func TestSharedDiskRemoteEvictionIsCleanMiss(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDiskShared(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sharedKey(2)
+	if err := a.Put(k, sharedPayload(k)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a remote eviction: unlink the blob directly.
+	if err := os.Remove(filepath.Join(dir, k.String()+blobSuffix)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Get(k); ok {
+		t.Fatal("Get served an unlinked blob")
+	}
+	st := a.Stats()
+	if st.Corrupt != 0 {
+		t.Fatalf("remote eviction counted as corrupt: %+v", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	// The index entry is gone: a second lookup is a probe miss, not a
+	// repeated unlink attempt.
+	if _, ok := a.Get(k); ok {
+		t.Fatal("second Get served an unlinked blob")
+	}
+}
+
+// TestSharedDiskEvictionRespectsCap: shared eviction enforces the cap
+// against the directory's combined footprint even though each handle's
+// local index saw only its own puts.
+func TestSharedDiskEvictionRespectsCap(t *testing.T) {
+	dir := t.TempDir()
+	const max = 16 << 10
+	a, err := OpenDiskShared(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenDiskShared(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave enough writes from both handles to exceed the cap
+	// several times over; each handle alone stays under it between
+	// periodic rescans only briefly.
+	for i := 0; i < 64; i++ {
+		h := a
+		if i%2 == 1 {
+			h = b
+		}
+		k := sharedKey(100 + i)
+		if err := h.Put(k, sharedPayload(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force a final rescan from either handle.
+	a.sharedEvict()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if _, ok := keyFromName(e.Name()); !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if total > max {
+		t.Fatalf("combined footprint %d exceeds cap %d after shared eviction", total, max)
+	}
+}
+
+// TestSharedDiskCorruptBlobIsMiss: a truncated blob written by a
+// crashed or buggy peer reads as a miss through a shared handle.
+func TestSharedDiskCorruptBlobIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskShared(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sharedKey(3)
+	if err := os.WriteFile(filepath.Join(dir, k.String()+blobSuffix), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(k); ok {
+		t.Fatal("Get served a corrupt blob")
+	}
+	// A valid Put heals the entry.
+	if err := d.Put(k, sharedPayload(k)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get(k); !ok || !bytes.Equal(got, sharedPayload(k)) {
+		t.Fatal("Put did not heal the corrupt blob")
+	}
+}
+
+// TestSharedDiskConcurrentSameKeyWriters: concurrent writers of one key
+// through different handles resolve to one winner; every subsequent read
+// sees a complete, valid blob.
+func TestSharedDiskConcurrentSameKeyWriters(t *testing.T) {
+	dir := t.TempDir()
+	handles := make([]*Disk, 4)
+	for i := range handles {
+		d, err := OpenDiskShared(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = d
+	}
+	k := sharedKey(4)
+	want := sharedPayload(k)
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(d *Disk) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := d.Put(k, want); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if got, ok := d.Get(k); ok && !bytes.Equal(got, want) {
+					t.Errorf("read a torn blob (%d bytes)", len(got))
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	for i, h := range handles {
+		if got, ok := h.Get(k); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("handle %d: final read failed (ok=%v)", i, ok)
+		}
+	}
+}
+
+// --- Cross-process test -------------------------------------------------
+//
+// The parent spawns two copies of this test binary running only the
+// helper below, each mounting the same directory as a shared tier with a
+// small byte cap, hammering an overlapping key space with Put/Get (and
+// the evictions the cap forces). The helper validates every successful
+// Get against the key-derived payload — a torn or cross-wired blob fails
+// the child — and the parent then re-mounts the directory and validates
+// every surviving blob. Run under -race in CI, each child process is
+// itself race-instrumented.
+
+const (
+	sharedProcDirEnv  = "SSYNC_SHARED_DISK_DIR"
+	sharedProcSeedEnv = "SSYNC_SHARED_DISK_SEED"
+)
+
+// TestSharedDiskCrossProcessHelper is the child-process body; it skips
+// unless the parent set the environment up.
+func TestSharedDiskCrossProcessHelper(t *testing.T) {
+	dir := os.Getenv(sharedProcDirEnv)
+	if dir == "" {
+		t.Skip("helper for TestSharedDiskCrossProcess; run by the parent test")
+	}
+	seed, _ := strconv.Atoi(os.Getenv(sharedProcSeedEnv))
+	d, err := OpenDiskShared(dir, 64<<10) // small cap: evictions race the traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	deadline := time.Now().Add(3 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		k := sharedKey(200 + rng.Intn(48)) // overlaps with the sibling process
+		switch rng.Intn(3) {
+		case 0, 1:
+			if err := d.Put(k, sharedPayload(k)); err != nil {
+				t.Fatalf("iteration %d: put: %v", i, err)
+			}
+		default:
+			if p, ok := d.Get(k); ok && !bytes.Equal(p, sharedPayload(k)) {
+				t.Fatalf("iteration %d: read %d bytes for key %s, want %d",
+					i, len(p), k.String()[:8], len(sharedPayload(k)))
+			}
+		}
+	}
+	if st := d.Stats(); st.Corrupt > 0 {
+		// Concurrent writers + evictors must never manufacture corruption:
+		// temp+fsync+rename publishes only whole blobs, and unlinks are
+		// miss-not-corrupt in shared mode.
+		t.Fatalf("shared traffic produced corrupt blobs: %+v", st)
+	}
+}
+
+func TestSharedDiskCrossProcess(t *testing.T) {
+	if os.Getenv(sharedProcDirEnv) != "" {
+		t.Skip("already inside a helper process")
+	}
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	type child struct {
+		cmd *exec.Cmd
+		out *bytes.Buffer
+	}
+	var children []child
+	for i := 0; i < 2; i++ {
+		out := &bytes.Buffer{}
+		cmd := exec.Command(exe, "-test.run", "^TestSharedDiskCrossProcessHelper$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			sharedProcDirEnv+"="+dir,
+			fmt.Sprintf("%s=%d", sharedProcSeedEnv, i+1))
+		cmd.Stdout, cmd.Stderr = out, out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		children = append(children, child{cmd, out})
+	}
+	for i, c := range children {
+		if err := c.cmd.Wait(); err != nil {
+			t.Errorf("child %d failed: %v\n%s", i, err, c.out.String())
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	// Survivor validation: every blob left on disk decodes cleanly and
+	// matches its key-derived payload.
+	d, err := OpenDiskShared(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validated := 0
+	for _, e := range entries {
+		k, ok := keyFromName(e.Name())
+		if !ok {
+			continue
+		}
+		p, ok := d.Get(k)
+		if !ok {
+			t.Fatalf("surviving blob %s unreadable", e.Name())
+		}
+		if !bytes.Equal(p, sharedPayload(k)) {
+			t.Fatalf("surviving blob %s does not match its key", e.Name())
+		}
+		validated++
+	}
+	if validated == 0 {
+		t.Fatal("no blobs survived two writer processes; eviction is over-aggressive")
+	}
+}

@@ -276,6 +276,20 @@ type CompileRequest = engine.Request
 // key, cache-hit and coalescing provenance.
 type CompileResponse = engine.Response
 
+// CompileKey is the content address of a CompileRequest: a sha256 over
+// the request's canonical OpenQASM rendering, device layout and resolved
+// execution plan. Two requests share a key exactly when a cached result
+// for one answers the other.
+type CompileKey = engine.Key
+
+// RequestKey computes a request's stable content address (the "v4" key
+// the engine caches and coalesces under, and the cluster router shards
+// by). It fails only when the request itself is unresolvable — an
+// unknown compiler name or a malformed pipeline. Priority, Deadline,
+// Timeout and Label never enter the key: they select when and how a
+// request runs, not what it computes.
+func RequestKey(req CompileRequest) (CompileKey, error) { return engine.RequestKey(req) }
+
 // CompilerFunc is one pluggable compiler, addressable by name once
 // registered (RegisterCompiler).
 type CompilerFunc = engine.CompilerFunc
