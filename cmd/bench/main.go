@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-pr 6] [-out BENCH_6.json] [-benchtime 1x]
+//	go run ./cmd/bench [-pr 8] [-out BENCH_8.json] [-benchtime 1x]
 //
 // The harness shells out to `go test -bench` (so the numbers are the
 // same ones a developer sees) and parses the standard benchmark output
@@ -72,6 +72,18 @@ type routerOverhead struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// authOverhead compares a cache-hit compile request on an open server
+// against the same request through the access-control guard with a
+// valid API key (BenchmarkAuthOverhead in cmd/ssyncd): the added
+// latency is the auth tax — credential parsing, SHA-256 + constant-time
+// key lookup, quota admission and release, per-principal accounting.
+type authOverhead struct {
+	OpenNsPerOp          float64 `json:"open_ns_per_op"`
+	AuthenticatedNsPerOp float64 `json:"authenticated_ns_per_op"`
+	// OverheadPct is (authenticated-open)/open, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type document struct {
 	PR        int             `json:"pr"`
 	GoVersion string          `json:"go_version"`
@@ -82,6 +94,7 @@ type document struct {
 	Results   []benchResult   `json:"results"`
 	Cache     cacheRates      `json:"cache"`
 	Router    *routerOverhead `json:"router,omitempty"`
+	Auth      *authOverhead   `json:"auth,omitempty"`
 }
 
 // resultLineRe matches a standard benchmark result line:
@@ -202,6 +215,28 @@ func routerSection(results []benchResult) *routerOverhead {
 	}
 }
 
+// authSection derives the auth-overhead summary from the parsed
+// BenchmarkAuthOverhead sub-results (nil if either half is missing).
+func authSection(results []benchResult) *authOverhead {
+	var open, authed float64
+	for _, r := range results {
+		switch {
+		case strings.Contains(r.Name, "BenchmarkAuthOverhead/open"):
+			open = r.NsPerOp
+		case strings.Contains(r.Name, "BenchmarkAuthOverhead/authenticated"):
+			authed = r.NsPerOp
+		}
+	}
+	if open == 0 || authed == 0 {
+		return nil
+	}
+	return &authOverhead{
+		OpenNsPerOp:          open,
+		AuthenticatedNsPerOp: authed,
+		OverheadPct:          100 * (authed - open) / open,
+	}
+}
+
 // findBaseline locates the previous PR's document: the BENCH_<k>.json
 // with the largest k below pr.
 func findBaseline(pr int) (string, bool) {
@@ -246,7 +281,7 @@ func printDelta(baselinePath string, doc document) {
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 7, "PR number stamped into the document (and the default output name)")
+		pr        = flag.Int("pr", 8, "PR number stamped into the document (and the default output name)")
 		out       = flag.String("out", "", "output path (default BENCH_<pr>.json)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
 		baseline  = flag.String("baseline", "",
@@ -270,7 +305,7 @@ func main() {
 	for _, spec := range []struct{ pkg, pattern string }{
 		{".", "^(BenchmarkBatchCompile|BenchmarkStagePrefixReuse)$"},
 		{"./internal/engine", "^BenchmarkSchedulerMixedLoad$"},
-		{"./cmd/ssyncd", "^BenchmarkRouterOverhead$"},
+		{"./cmd/ssyncd", "^(BenchmarkRouterOverhead|BenchmarkAuthOverhead)$"},
 	} {
 		fmt.Fprintf(os.Stderr, "bench: running %s in %s\n", spec.pattern, spec.pkg)
 		results, err := runBench(spec.pkg, spec.pattern, *benchtime)
@@ -289,6 +324,7 @@ func main() {
 	}
 	doc.Cache = rates
 	doc.Router = routerSection(doc.Results)
+	doc.Auth = authSection(doc.Results)
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -303,6 +339,10 @@ func main() {
 	if doc.Router != nil {
 		fmt.Printf("bench: router overhead on cache hits: %.0f ns direct, %.0f ns routed (%+.1f%%)\n",
 			doc.Router.DirectNsPerOp, doc.Router.RoutedNsPerOp, doc.Router.OverheadPct)
+	}
+	if doc.Auth != nil {
+		fmt.Printf("bench: auth overhead on cache hits: %.0f ns open, %.0f ns authenticated (%+.1f%%)\n",
+			doc.Auth.OpenNsPerOp, doc.Auth.AuthenticatedNsPerOp, doc.Auth.OverheadPct)
 	}
 	if *baseline != "none" {
 		bp := *baseline

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ssync/internal/auth"
+	"ssync/internal/engine"
+)
+
+// BenchmarkAuthOverhead measures what the access-control layer adds to
+// a cache-hit compile request: the open sub-benchmark posts to an
+// unguarded server, the authenticated one sends a valid bearer key
+// through the full guard (credential parse, SHA-256 + constant-time key
+// lookup, quota admission, grant release, per-principal accounting).
+// The workload is a warm result-cache hit — the case where the guard is
+// largest relative to the work — so the delta bounds the auth tax from
+// above.
+func BenchmarkAuthOverhead(b *testing.B) {
+	const body = `{"benchmark":"QFT_10","topology":"G-2x3"}`
+	post := func(url, key string) error {
+		req, err := http.NewRequest(http.MethodPost, url+"/v2/compile", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	open := newServer(engine.New(engine.Options{Workers: 4}), 4, time.Minute)
+	openTS := httptest.NewServer(open.routes())
+	defer openTS.Close()
+	if err := post(openTS.URL, ""); err != nil {
+		b.Fatal(err)
+	}
+
+	keys := filepath.Join(b.TempDir(), "keys.conf")
+	line := auth.HashKey("bench-key") + " bench rate=1000000 burst=1000000\n"
+	if err := os.WriteFile(keys, []byte(line), 0o600); err != nil {
+		b.Fatal(err)
+	}
+	guarded := newServer(engine.New(engine.Options{Workers: 4}), 4, time.Minute)
+	authn, err := auth.NewAuthenticator(auth.Config{KeysFile: keys})
+	if err != nil {
+		b.Fatal(err)
+	}
+	al := &authLayer{authn: authn, enforcer: auth.NewEnforcer(), log: slog.New(slog.DiscardHandler)}
+	al.register(guarded.reg)
+	guarded.auth = al
+	guardedTS := httptest.NewServer(guarded.routes())
+	defer guardedTS.Close()
+	if err := post(guardedTS.URL, "bench-key"); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(openTS.URL, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("authenticated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(guardedTS.URL, "bench-key"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

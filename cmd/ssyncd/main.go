@@ -96,10 +96,16 @@ func main() {
 		statsFile = flag.String("stats-file", "",
 			"periodically write the /v2/stats document to this file, atomically (empty disables)")
 		statsInterval = flag.Duration("stats-interval", time.Minute, "interval between -stats-file flushes")
-		mode         = flag.String("mode", "replica",
+		mode          = flag.String("mode", "replica",
 			"process role: \"replica\" serves compilations; \"router\" fronts a fleet of replicas, consistent-hashing each request's cache key so identical circuits land on the replica already holding (or compiling) their result")
 		replicas = flag.String("replicas", "",
 			"router mode: comma-separated replica base URLs (e.g. http://replica1:8484,http://replica2:8484)")
+		authKeys = flag.String("auth-keys", "",
+			"API-key file guarding the compile-submitting endpoints: one \"<sha256-hex>  <principal>  [rate=N] [burst=N] [inflight=N] [max-priority=class]\" per line, hot-reloaded on change (empty leaves the service open)")
+		authOptional = flag.Bool("auth-optional", false,
+			"admit requests without a credential as the shared \"anonymous\" principal instead of rejecting them with 401 (a wrong key is still rejected)")
+		clusterSecret = flag.String("cluster-secret", "",
+			"shared HMAC secret for the internal identity header: a router signs the authenticated principal toward its replicas, replicas verify it — so API keys never leave the edge")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -113,9 +119,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	aopt := authOptions{keysFile: *authKeys, optional: *authOptional, secret: *clusterSecret}
 	switch *mode {
 	case "router":
-		if err := runRouter(*addr, *replicas, *drain, logger); err != nil {
+		if err := runRouter(*addr, *replicas, *drain, aopt, logger); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -134,6 +141,16 @@ func main() {
 	}, *workers, *timeout, logger)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if aopt.enabled() {
+		al, err := newAuthLayer(aopt, srv.reg, logger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.auth = al
+		logger.Info("access control enabled",
+			"keys_file", *authKeys, "optional", *authOptional,
+			"identity_verification", *clusterSecret != "")
 	}
 	hs := &http.Server{
 		Handler: srv.routes(),

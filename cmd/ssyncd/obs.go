@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -57,6 +58,27 @@ func acceptRequestID(id string) bool {
 	return true
 }
 
+// principalTag is a mutable slot the instrument middleware plants in
+// the context so the auth layer — which resolves the principal later,
+// inside the mux — can report it back for the request summary line.
+// Written and read on the request goroutine only.
+type principalTag struct{ name string }
+
+type principalTagKey struct{}
+
+func withPrincipalTag(ctx context.Context, t *principalTag) context.Context {
+	return context.WithValue(ctx, principalTagKey{}, t)
+}
+
+// setPrincipalTag records the resolved principal for the enclosing
+// instrument middleware; a no-op on contexts without the slot (tests,
+// embedders).
+func setPrincipalTag(ctx context.Context, name string) {
+	if t, ok := ctx.Value(principalTagKey{}).(*principalTag); ok {
+		t.name = name
+	}
+}
+
 // statusWriter captures the status code a handler writes, for the
 // request log line and the per-route counter.
 type statusWriter struct {
@@ -95,6 +117,8 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		ctx = obs.WithLogger(ctx, log)
 		tr := obs.NewTrace()
 		ctx = obs.WithTrace(ctx, tr)
+		tag := &principalTag{}
+		ctx = withPrincipalTag(ctx, tag)
 
 		route := routeLabel(r.URL.Path)
 		s.inflight.With().Inc()
@@ -110,9 +134,14 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
 		s.httpDur.Observe(elapsed.Seconds(), route)
 
-		log.Info("http request",
+		attrs := []any{
 			"method", r.Method, "path", r.URL.Path, "status", sw.status,
-			"dur_ms", float64(elapsed)/float64(time.Millisecond))
+			"dur_ms", float64(elapsed) / float64(time.Millisecond),
+		}
+		if tag.name != "" {
+			attrs = append(attrs, "principal", tag.name)
+		}
+		log.Info("http request", attrs...)
 		if log.Enabled(ctx, slog.LevelDebug) {
 			for _, sp := range tr.Spans() {
 				log.Debug("trace span", "span", sp.Name,
@@ -138,6 +167,8 @@ type snapshotMetrics struct {
 	schedSlots, schedBusy, schedDepth    *obs.Metric
 	schedAdmitted, schedShed, schedAband *obs.Metric
 	schedAvgService                      *obs.Metric
+
+	princAdmitted, princShed, princInflight *obs.Metric
 
 	passRuns, passHits, passSeconds *obs.Metric
 }
@@ -187,6 +218,16 @@ func newSnapshotMetrics(reg *obs.Registry) *snapshotMetrics {
 		schedAvgService: reg.Gauge("ssync_sched_avg_service_seconds",
 			"EWMA of slot-hold durations behind admission wait estimates."),
 
+		// Principal labels are cardinality-bounded: names come from the
+		// validated keys file, plus "anonymous" and the scheduler's
+		// overflow bucket.
+		princAdmitted: reg.Counter("ssync_sched_principal_admitted_total",
+			"Requests that acquired a worker slot, by principal.", "principal"),
+		princShed: reg.Counter("ssync_sched_principal_shed_total",
+			"Requests shed by admission control, by principal.", "principal"),
+		princInflight: reg.Gauge("ssync_sched_principal_inflight",
+			"Worker slots currently held, by principal.", "principal"),
+
 		passRuns: reg.Counter("ssync_pass_runs_total",
 			"Pipeline stages executed, by pass name.", "pass"),
 		passHits: reg.Counter("ssync_pass_cache_hits_total",
@@ -229,6 +270,11 @@ func (m *snapshotMetrics) update(st engine.Stats) {
 			m.schedShed.With(class, "queue_full").Set(float64(c.ShedQueueFull))
 			m.schedShed.With(class, "deadline").Set(float64(c.ShedDeadline))
 			m.schedAband.With(class).Set(float64(c.Abandoned))
+		}
+		for _, p := range s.Principals {
+			m.princAdmitted.With(p.Name).Set(float64(p.Admitted))
+			m.princShed.With(p.Name).Set(float64(p.Shed))
+			m.princInflight.With(p.Name).Set(float64(p.InFlight))
 		}
 	}
 

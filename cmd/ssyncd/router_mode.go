@@ -24,7 +24,7 @@ import (
 // spills to the second shard on the ring when its home is down or
 // shedding. The router's own GET /metrics exposes the ssync_cluster_*
 // families, and GET /cluster/stats the fleet snapshot.
-func runRouter(addr, replicaList string, drain time.Duration, logger *slog.Logger) error {
+func runRouter(addr, replicaList string, drain time.Duration, aopt authOptions, logger *slog.Logger) error {
 	var urls []string
 	for _, u := range strings.Split(replicaList, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -46,8 +46,23 @@ func runRouter(addr, replicaList string, drain time.Duration, logger *slog.Logge
 		return err
 	}
 	defer router.Close()
+	// With access control on, the router is the fleet's authentication
+	// edge: API keys are checked and quota-admitted here, stripped from
+	// the proxied request, and the resolved identity travels to replicas
+	// as a signed internal header.
+	var handler http.Handler = router
+	if aopt.enabled() {
+		al, err := newAuthLayer(aopt, reg, logger)
+		if err != nil {
+			return err
+		}
+		if al.signer == nil {
+			logger.Warn("auth-keys set without -cluster-secret: replicas will see authenticated traffic as anonymous")
+		}
+		handler = al.edgeGuard(router)
+	}
 	hs := &http.Server{
-		Handler:           router,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

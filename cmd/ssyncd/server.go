@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssync/internal/auth"
 	"ssync/internal/circuit"
 	"ssync/internal/device"
 	"ssync/internal/engine"
@@ -134,6 +135,10 @@ type server struct {
 	httpReqs *obs.Metric
 	httpDur  *obs.Metric
 	inflight *obs.Metric
+	// auth, when non-nil, guards the compile-submitting routes with
+	// API-key authentication and per-principal quota degradation; nil
+	// (the default) leaves the service open exactly as before.
+	auth *authLayer
 }
 
 func newServer(eng *engine.Engine, workers int, timeout time.Duration) *server {
@@ -185,12 +190,21 @@ func (s *server) setRegistry(reg *obs.Registry) {
 }
 
 func (s *server) routes() http.Handler {
+	// Only the compile-submitting POST routes are guarded; the GET
+	// surface stays open so health checks, scrapers and the cluster
+	// router's replica polling need no credentials.
+	guard := func(h http.HandlerFunc) http.Handler {
+		if s.auth != nil {
+			return s.auth.guard(h)
+		}
+		return h
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/compile", s.handleCompile)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.Handle("/v1/compile", guard(s.handleCompile))
+	mux.Handle("/v1/batch", guard(s.handleBatch))
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v2/compile", s.handleCompileV2)
-	mux.HandleFunc("/v2/batch", s.handleBatchV2)
+	mux.Handle("/v2/compile", guard(s.handleCompileV2))
+	mux.Handle("/v2/batch", guard(s.handleBatchV2))
 	mux.HandleFunc("/v2/compilers", s.handleCompilersV2)
 	mux.HandleFunc("/v2/passes", s.handlePassesV2)
 	mux.HandleFunc("/v2/stats", s.handleStatsV2)
@@ -419,6 +433,7 @@ func (s *server) racePortfolio(ctx context.Context, req compileRequestV2) (compi
 	resp := renderWithMetrics(winnerReq, out.Winner, out.Metrics[out.WinnerIndex])
 	resp.Label = req.Label
 	resp.Winner = out.Winner.Label
+	resp.Priority = string(class)
 	return resp, http.StatusOK, nil
 }
 
@@ -511,10 +526,14 @@ func buildErrorStatus(err error) int {
 
 // writeError writes an error response, attaching a Retry-After header
 // (in whole seconds, rounded up, minimum 1) when the error chain
-// carries a scheduler load-shed with a drain estimate — the contract
-// behind every 429/503 this service emits.
+// carries a scheduler load-shed or quota-shed with a drain estimate —
+// the contract behind every 429/503 this service emits.
 func writeError(w http.ResponseWriter, status int, err error) {
-	if retry, ok := sched.RetryAfter(err); ok {
+	retry, ok := sched.RetryAfter(err)
+	if !ok {
+		retry, ok = auth.RetryAfter(err)
+	}
+	if ok {
 		secs := int64(retry+time.Second-1) / int64(time.Second)
 		if secs < 1 {
 			secs = 1

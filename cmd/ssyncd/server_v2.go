@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"ssync/internal/auth"
 	"ssync/internal/core"
 	"ssync/internal/engine"
 	"ssync/internal/mapping"
@@ -101,6 +102,10 @@ type compileResponseV2 struct {
 	// response header) in the body, so stored responses stay joinable to
 	// server logs. Batch entries share the enclosing request's ID.
 	RequestID string `json:"request_id,omitempty"`
+	// Priority is the scheduling class the request actually ran in —
+	// the requested (or default) class after the principal's quota
+	// clamp, so a demoted request can see it was demoted.
+	Priority string `json:"priority,omitempty"`
 	// ErrorStatus classifies a failed batch entry with the HTTP status
 	// the same failure would earn on /v2/compile — 429 (class queue
 	// full) and 503 (deadline unmeetable) keep their load-shedding
@@ -226,6 +231,15 @@ type schedClassStatsV2 struct {
 	MaxWaitMs float64 `json:"max_wait_ms"`
 }
 
+// schedPrincipalStatsV2 is one principal's scheduler row: how the
+// worker-slot budget was actually consumed per identity.
+type schedPrincipalStatsV2 struct {
+	Name     string `json:"name"`
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	InFlight int    `json:"in_flight"`
+}
+
 // schedStatsV2 is the admission-scheduler section of /v2/stats.
 type schedStatsV2 struct {
 	// Slots is the worker-slot budget (-workers).
@@ -239,6 +253,9 @@ type schedStatsV2 struct {
 	AvgServiceMs float64 `json:"avg_service_ms"`
 	// Classes maps each priority class to its row.
 	Classes map[string]schedClassStatsV2 `json:"classes"`
+	// Principals breaks admissions/sheds/in-flight down per
+	// authenticated principal; empty on services without access control.
+	Principals []schedPrincipalStatsV2 `json:"principals,omitempty"`
 }
 
 // schedStats renders the scheduler snapshot for the wire.
@@ -262,6 +279,11 @@ func schedStats(st *sched.Stats) *schedStatsV2 {
 			MaxWaitMs:     ms(c.MaxWait),
 		}
 	}
+	for _, p := range st.Principals {
+		out.Principals = append(out.Principals, schedPrincipalStatsV2{
+			Name: p.Name, Admitted: p.Admitted, Shed: p.Shed, InFlight: p.InFlight,
+		})
+	}
 	return out
 }
 
@@ -284,6 +306,18 @@ type statsResponseV2 struct {
 	// coalesced waiters do not re-count), while cache_hits counts stages
 	// skipped via restored prefixes.
 	Passes map[string]passStatsV2 `json:"passes,omitempty"`
+	// Auth is the access-control snapshot — key-set generation and
+	// per-principal quota budgets; omitted on open services.
+	Auth *authStatsV2 `json:"auth,omitempty"`
+}
+
+// authStatsV2 is the access-control section of /v2/stats.
+type authStatsV2 struct {
+	// Keys describes the serving keys-file generation.
+	Keys auth.KeySetStats `json:"keys"`
+	// Principals lists every tracked principal's quota budget state:
+	// token balance, in-flight grants, and admit/demote/shed counters.
+	Principals []auth.PrincipalQuotaStats `json:"principals,omitempty"`
 }
 
 // pipelineSpecs converts the wire pipeline to the engine's pass specs.
@@ -318,6 +352,11 @@ func schedParams(ctx context.Context, req compileRequestV2, def sched.Class, arr
 	if req.Priority == "" {
 		class = def
 	}
+	// An authenticated request's class is capped by its principal's
+	// admission grant (or MaxClass): over-budget principals are demoted
+	// down the ladder here instead of rejected. The response's priority
+	// field echoes the class actually used.
+	class = auth.Clamp(ctx, class)
 	if req.DeadlineMs < 0 {
 		return ctx, cancel, "", deadline, fmt.Errorf("deadline_ms must not be negative")
 	}
@@ -449,7 +488,9 @@ func (s *server) compileOne(ctx context.Context, req compileRequestV2) (compileR
 	if res.Err != nil {
 		return compileResponseV2{}, compileErrorStatus(res.Err), res.Err
 	}
-	return s.render(er, res), http.StatusOK, nil
+	resp := s.render(er, res)
+	resp.Priority = string(er.Priority)
+	return resp, http.StatusOK, nil
 }
 
 // compileBatch handles a batch of wire requests. invalid, when non-nil,
@@ -509,6 +550,10 @@ func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, i
 		reqs = append(reqs, er)
 		reqIdx = append(reqIdx, i)
 	}
+	// A batch carrying k entries pays the same rate cost as k single
+	// requests: the admission at the edge already paid the first token,
+	// the rest are charged here against the request's quota grant.
+	auth.ChargeExtra(ctx, len(reqs)-1)
 	pool := engine.Pool{Engine: s.eng, Workers: s.workers, Timeout: s.timeout}
 	for k, res := range pool.RunRequests(ctx, reqs) {
 		i := reqIdx[k]
@@ -517,6 +562,7 @@ func (s *server) compileBatch(ctx context.Context, entries []compileRequestV2, i
 			continue
 		}
 		results[i] = s.render(reqs[k], res)
+		results[i].Priority = string(reqs[k].Priority)
 	}
 	return results, http.StatusOK, nil
 }
@@ -642,6 +688,12 @@ func (s *server) statsV2() statsResponseV2 {
 	}
 	if st.Sched != nil {
 		resp.Sched = schedStats(st.Sched)
+	}
+	if s.auth != nil {
+		resp.Auth = &authStatsV2{
+			Keys:       s.auth.authn.Stats(),
+			Principals: s.auth.enforcer.Stats(),
+		}
 	}
 	if len(st.Passes) > 0 {
 		resp.Passes = make(map[string]passStatsV2, len(st.Passes))

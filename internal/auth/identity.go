@@ -1,0 +1,140 @@
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"ssync/internal/sched"
+)
+
+// IdentityHeader is the internal header a router uses to forward the
+// authenticated principal to replicas, so API keys never travel past
+// the edge. The value is Signer-signed; replicas sharing the cluster
+// secret verify it and trust the carried identity, and reject any
+// request presenting one that does not verify.
+const IdentityHeader = "X-SSync-Identity"
+
+// identityVersion tags the header format so it can evolve.
+const identityVersion = "v1"
+
+// DefaultIdentityMaxAge bounds how old a signed identity may be. The
+// window only needs to cover the router→replica hop (plus clock skew);
+// keeping it tight limits how long a captured header can be replayed
+// by anything that can already reach the replica network.
+const DefaultIdentityMaxAge = 2 * time.Minute
+
+// identitySkew tolerates replica clocks slightly ahead of the router's.
+const identitySkew = 30 * time.Second
+
+// identityClaims is the signed payload: who the request is from and the
+// class cap the edge's quota ladder granted it. Limits stay at the
+// edge — a replica only needs the outcome.
+type identityClaims struct {
+	// Name is the principal name.
+	Name string `json:"name"`
+	// Anon marks the anonymous principal.
+	Anon bool `json:"anon,omitempty"`
+	// Cap is the granted class cap ("" = no cap).
+	Cap string `json:"cap,omitempty"`
+	// IssuedAt is the signing time, unix seconds.
+	IssuedAt int64 `json:"iat"`
+}
+
+// Signer signs and verifies internal identity headers with an
+// HMAC-SHA256 over the claims payload, keyed by the shared cluster
+// secret. It is stateless and safe for concurrent use.
+type Signer struct {
+	secret []byte
+	maxAge time.Duration
+	now    func() time.Time // injected by tests; time.Now otherwise
+}
+
+// NewSigner returns a signer keyed by the shared cluster secret.
+// maxAge <= 0 selects DefaultIdentityMaxAge.
+func NewSigner(secret string, maxAge time.Duration) (*Signer, error) {
+	if secret == "" {
+		return nil, fmt.Errorf("auth: identity signer needs a non-empty secret")
+	}
+	if maxAge <= 0 {
+		maxAge = DefaultIdentityMaxAge
+	}
+	return &Signer{secret: []byte(secret), maxAge: maxAge, now: time.Now}, nil
+}
+
+// Sign produces an identity header value asserting that p was
+// authenticated at the edge and granted the class cap.
+//
+//	v1.<base64url(claims JSON)>.<hex hmac-sha256(secret, payload)>
+func (s *Signer) Sign(p *Principal, capClass sched.Class) string {
+	claims := identityClaims{
+		Name:     p.Name,
+		Anon:     p.Anonymous,
+		Cap:      string(capClass),
+		IssuedAt: s.now().Unix(),
+	}
+	raw, _ := json.Marshal(claims) // struct of strings/ints: cannot fail
+	payload := base64.RawURLEncoding.EncodeToString(raw)
+	return identityVersion + "." + payload + "." + s.mac(payload)
+}
+
+// Verify checks an identity header value and returns the principal it
+// asserts: correctly signed, fresh, well-formed claims. Every failure
+// wraps ErrBadIdentity — a presented identity that does not verify is
+// rejected, never downgraded to anonymous.
+func (s *Signer) Verify(value string) (*Principal, sched.Class, error) {
+	if len(value) > 4096 {
+		return nil, "", fmt.Errorf("%w: oversized header", ErrBadIdentity)
+	}
+	parts := strings.Split(value, ".")
+	if len(parts) != 3 || parts[0] != identityVersion {
+		return nil, "", fmt.Errorf("%w: want %s.<payload>.<mac>", ErrBadIdentity, identityVersion)
+	}
+	payload, mac := parts[1], parts[2]
+	if !hmac.Equal([]byte(mac), []byte(s.mac(payload))) {
+		return nil, "", fmt.Errorf("%w: bad signature", ErrBadIdentity)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(payload)
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: undecodable payload", ErrBadIdentity)
+	}
+	var claims identityClaims
+	if err := json.Unmarshal(raw, &claims); err != nil {
+		return nil, "", fmt.Errorf("%w: unparseable claims", ErrBadIdentity)
+	}
+	if !claims.Anon && !validPrincipalName(claims.Name) {
+		return nil, "", fmt.Errorf("%w: invalid principal name", ErrBadIdentity)
+	}
+	age := s.now().Sub(time.Unix(claims.IssuedAt, 0))
+	if age > s.maxAge || age < -identitySkew {
+		return nil, "", fmt.Errorf("%w: stale identity (age %s)", ErrBadIdentity, age.Round(time.Second))
+	}
+	var capClass sched.Class
+	if claims.Cap != "" {
+		c, err := sched.ParseClass(claims.Cap)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: unknown class cap %q", ErrBadIdentity, claims.Cap)
+		}
+		capClass = c
+	}
+	p := &Principal{
+		Name:      claims.Name,
+		Anonymous: claims.Anon,
+		// The edge enforces quotas; the replica only needs the cap, so
+		// priority clamping still holds machine-locally.
+		Limits: Limits{MaxClass: capClass},
+	}
+	return p, capClass, nil
+}
+
+// mac computes the hex HMAC-SHA256 of payload under the cluster secret.
+func (s *Signer) mac(payload string) string {
+	h := hmac.New(sha256.New, s.secret)
+	h.Write([]byte(payload))
+	return hex.EncodeToString(h.Sum(nil))
+}

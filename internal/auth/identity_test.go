@@ -1,0 +1,129 @@
+package auth
+
+import (
+	"encoding/base64"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ssync/internal/sched"
+)
+
+func testSigner(t *testing.T, secret string) (*Signer, *fakeClock) {
+	t.Helper()
+	s, err := NewSigner(secret, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	s.now = clk.now
+	return s, clk
+}
+
+func TestIdentityRoundTrip(t *testing.T) {
+	s, _ := testSigner(t, "cluster-secret")
+	p := &Principal{Name: "alpha", Limits: Limits{RatePerSec: 5, MaxClass: sched.Interactive}}
+	hdr := s.Sign(p, sched.Batch)
+	got, capClass, err := s.Verify(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "alpha" || got.Anonymous || capClass != sched.Batch {
+		t.Fatalf("round trip: %+v cap=%q", got, capClass)
+	}
+	// The verified principal carries only the cap — rate limits stay at
+	// the edge that enforced them.
+	if got.Limits.RatePerSec != 0 || got.Limits.MaxClass != sched.Batch {
+		t.Fatalf("replica-side limits should be cap-only: %+v", got.Limits)
+	}
+}
+
+func TestIdentityAnonymous(t *testing.T) {
+	s, _ := testSigner(t, "x")
+	hdr := s.Sign(&Principal{Name: AnonymousName, Anonymous: true}, "")
+	p, capClass, err := s.Verify(hdr)
+	if err != nil || !p.Anonymous || capClass != "" {
+		t.Fatalf("anonymous round trip: %v %+v cap=%q", err, p, capClass)
+	}
+}
+
+func TestIdentityRejectsTampering(t *testing.T) {
+	s, _ := testSigner(t, "secret-a")
+	other, _ := testSigner(t, "secret-b")
+	p := &Principal{Name: "alpha"}
+	good := s.Sign(p, "")
+
+	parts := strings.Split(good, ".")
+	forgedPayload := base64.RawURLEncoding.EncodeToString([]byte(`{"name":"admin","iat":1700000000}`))
+
+	for name, hdr := range map[string]string{
+		"wrong secret":   other.Sign(p, ""),
+		"edited payload": parts[0] + "." + forgedPayload + "." + parts[2],
+		"truncated mac":  parts[0] + "." + parts[1] + "." + parts[2][:10],
+		"missing parts":  parts[0] + "." + parts[1],
+		"extra parts":    good + ".tail",
+		"wrong version":  "v9." + parts[1] + "." + parts[2],
+		"empty":          "",
+		"garbage":        "not-an-identity",
+		"oversized":      "v1." + strings.Repeat("A", 5000) + "." + parts[2],
+	} {
+		if _, _, err := s.Verify(hdr); !errors.Is(err, ErrBadIdentity) {
+			t.Errorf("%s: want ErrBadIdentity, got %v", name, err)
+		}
+	}
+}
+
+func TestIdentityRejectsUnsignedClaims(t *testing.T) {
+	// A payload that was never MACed at all (attacker without the
+	// secret fabricates the whole header) must fail on the signature.
+	s, _ := testSigner(t, "secret")
+	payload := base64.RawURLEncoding.EncodeToString([]byte(`{"name":"admin","iat":1700000000}`))
+	hdr := "v1." + payload + "." + strings.Repeat("0", 64)
+	if _, _, err := s.Verify(hdr); !errors.Is(err, ErrBadIdentity) {
+		t.Fatalf("unsigned identity must be rejected, got %v", err)
+	}
+}
+
+func TestIdentityExpiry(t *testing.T) {
+	s, clk := testSigner(t, "secret")
+	hdr := s.Sign(&Principal{Name: "alpha"}, "")
+	if _, _, err := s.Verify(hdr); err != nil {
+		t.Fatalf("fresh identity should verify: %v", err)
+	}
+	// Replayed past the freshness window: rejected.
+	clk.advance(DefaultIdentityMaxAge + time.Second)
+	if _, _, err := s.Verify(hdr); !errors.Is(err, ErrBadIdentity) {
+		t.Fatalf("stale identity must be rejected, got %v", err)
+	}
+	// Issued in the future beyond skew (e.g. replayed against a replica
+	// with a slow clock): rejected too.
+	clk.advance(-DefaultIdentityMaxAge - time.Second - identitySkew - 2*time.Second)
+	if _, _, err := s.Verify(hdr); !errors.Is(err, ErrBadIdentity) {
+		t.Fatalf("future-dated identity must be rejected, got %v", err)
+	}
+}
+
+func TestIdentityRejectsBadClaimFields(t *testing.T) {
+	s, _ := testSigner(t, "secret")
+	sign := func(json string) string {
+		payload := base64.RawURLEncoding.EncodeToString([]byte(json))
+		return "v1." + payload + "." + s.mac(payload)
+	}
+	for name, hdr := range map[string]string{
+		"invalid principal name": sign(`{"name":"no/slashes","iat":1700000000}`),
+		"empty name":             sign(`{"name":"","iat":1700000000}`),
+		"unknown cap":            sign(`{"name":"a","cap":"urgent","iat":1700000000}`),
+		"not json":               sign(`]broken[`),
+	} {
+		if _, _, err := s.Verify(hdr); !errors.Is(err, ErrBadIdentity) {
+			t.Errorf("%s: want ErrBadIdentity, got %v", name, err)
+		}
+	}
+}
+
+func TestNewSignerRejectsEmptySecret(t *testing.T) {
+	if _, err := NewSigner("", 0); err == nil {
+		t.Fatal("empty secret should be rejected")
+	}
+}

@@ -1,0 +1,318 @@
+package auth
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ssync/internal/sched"
+)
+
+// Enforcer applies per-principal quotas with graceful degradation. Each
+// principal gets a token bucket (RatePerSec / Burst) and an in-flight
+// bound (MaxInFlight); a principal over either budget is not rejected
+// outright — its requests are demoted down the priority ladder
+// (interactive → batch → background), borrowing against deeper
+// overdraft bands at each rung, and only shed with *QuotaError once
+// over budget at the background rung. Budget state is keyed by
+// principal name and survives keys-file reloads, so rotating a key
+// never refills a bucket.
+//
+// The ladder in numbers, with B = Burst and M = MaxInFlight:
+//
+//	rate:     admit at interactive while balance ≥ 1, at batch while
+//	          balance ≥ 1−B, at background while balance ≥ 1−2B, else
+//	          shed; every admission debits one token and the balance
+//	          floors at −2B (refilling at RatePerSec up to B).
+//	inflight: admit at interactive while in-flight < M, at batch
+//	          while < 2M, at background while < 3M, else shed.
+//
+// A request's granted class is the weakest of the two rungs and the
+// principal's MaxClass; the edge and the engine clamp the requested
+// class to it (Clamp), so an over-budget principal keeps getting
+// answers — slower ones — while within-budget principals keep their
+// latency.
+type Enforcer struct {
+	mu     sync.Mutex
+	states map[string]*principalState
+	now    func() time.Time // injected by tests; time.Now otherwise
+}
+
+// maxPrincipals defensively bounds the per-principal state map (and so
+// metric cardinality). Real principals come from the keys file, which
+// is far smaller; past the cap new names share one overflow bucket
+// rather than growing the map without bound.
+const maxPrincipals = 1024
+
+// overflowName is the shared state bucket for principals past
+// maxPrincipals.
+const overflowName = "overflow"
+
+// defaultHoldEstimate is the Retry-After hint for in-flight sheds
+// before any hold time has been observed.
+const defaultHoldEstimate = time.Second
+
+// principalState is one principal's mutable budget; guarded by the
+// enforcer's mutex.
+type principalState struct {
+	name       string
+	balance    float64 // tokens; meaningful only under a rate limit
+	lastRefill time.Time
+	inflight   int
+	holdEWMA   time.Duration // EWMA of grant hold times (α = 1/8)
+
+	admitted     uint64
+	demoted      uint64
+	shedRate     uint64
+	shedInflight uint64
+}
+
+// NewEnforcer returns an enforcer with no principals tracked yet;
+// states materialize on first admission.
+func NewEnforcer() *Enforcer {
+	return &Enforcer{states: make(map[string]*principalState), now: time.Now}
+}
+
+// Grant is one admitted request's quota decision: the class cap the
+// ladder granted, and the live handle that returns the in-flight slot
+// on Release. Callers must call Release exactly once when the request
+// finishes (extra calls are no-ops); WithGrant carries it on the
+// request context so batch handlers can ChargeExtra against it.
+type Grant struct {
+	// Principal is the admitted identity.
+	Principal *Principal
+	// Class is the best scheduling class this request may use — the
+	// weakest of the principal's MaxClass and the two ladder rungs.
+	Class sched.Class
+	// Demoted reports that a quota rung (not MaxClass) forced the cap —
+	// i.e. the principal is over a budget and riding the ladder.
+	Demoted bool
+
+	e     *Enforcer
+	st    *principalState
+	start time.Time
+	once  sync.Once
+}
+
+// Admit runs the degradation ladder for one request from p. It returns
+// a grant whose Class caps the request's scheduling class, or a
+// *QuotaError (unwrapping ErrOverQuota) when the principal is over
+// budget even at the background rung.
+func (e *Enforcer) Admit(p *Principal) (*Grant, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stateLocked(p.Name)
+	now := e.now()
+
+	// Normalize the zero class to its canonical name up front so the
+	// "did this rung weaken the cap" comparisons below compare equal
+	// classes as equal.
+	capClass := sched.Weaker(p.Limits.MaxClass, sched.Interactive)
+	demoted := false
+
+	if rate := p.Limits.RatePerSec; rate > 0 {
+		burst := p.Limits.Burst
+		if burst <= 0 {
+			burst = DefaultBurst
+		}
+		st.refillLocked(now, rate, burst)
+		rung, ok := rateRung(st.balance, burst)
+		if !ok {
+			st.shedRate++
+			need := 1 - 2*burst - st.balance
+			if need < 1 {
+				need = 1
+			}
+			retry := time.Duration(need / rate * float64(time.Second))
+			return nil, &QuotaError{Principal: p.Name, Reason: "rate", Retry: retry}
+		}
+		if sched.Weaker(capClass, rung) != capClass {
+			capClass, demoted = rung, true
+		}
+		st.balance--
+		if st.balance < -2*burst {
+			st.balance = -2 * burst
+		}
+	}
+
+	if m := p.Limits.MaxInFlight; m > 0 {
+		rung, ok := inflightRung(st.inflight, m)
+		if !ok {
+			st.shedInflight++
+			retry := st.holdEWMA
+			if retry <= 0 {
+				retry = defaultHoldEstimate
+			}
+			return nil, &QuotaError{Principal: p.Name, Reason: "inflight", Retry: retry}
+		}
+		if sched.Weaker(capClass, rung) != capClass {
+			capClass, demoted = rung, true
+		}
+	}
+
+	st.inflight++
+	st.admitted++
+	if demoted {
+		st.demoted++
+	}
+	return &Grant{Principal: p, Class: capClass, Demoted: demoted, e: e, st: st, start: now}, nil
+}
+
+// rateRung maps a token balance onto the ladder: each demotion step
+// grants one more Burst of overdraft. ok=false means shed.
+func rateRung(balance, burst float64) (sched.Class, bool) {
+	switch {
+	case balance >= 1:
+		return sched.Interactive, true
+	case balance >= 1-burst:
+		return sched.Batch, true
+	case balance >= 1-2*burst:
+		return sched.Background, true
+	default:
+		return "", false
+	}
+}
+
+// inflightRung maps an in-flight count onto the ladder: full priority
+// up to the limit, then one extra limit's worth per demotion step.
+// ok=false means shed.
+func inflightRung(inflight, max int) (sched.Class, bool) {
+	switch {
+	case inflight < max:
+		return sched.Interactive, true
+	case inflight < 2*max:
+		return sched.Batch, true
+	case inflight < 3*max:
+		return sched.Background, true
+	default:
+		return "", false
+	}
+}
+
+// refillLocked adds rate·elapsed tokens up to burst. A state's first
+// refill seeds a full bucket — a principal's first request ever should
+// see its whole burst.
+func (st *principalState) refillLocked(now time.Time, rate, burst float64) {
+	if st.lastRefill.IsZero() {
+		st.balance = burst
+		st.lastRefill = now
+		return
+	}
+	if elapsed := now.Sub(st.lastRefill); elapsed > 0 {
+		st.balance += rate * elapsed.Seconds()
+		if st.balance > burst {
+			st.balance = burst
+		}
+	}
+	st.lastRefill = now
+}
+
+// stateLocked finds or creates the principal's budget state, folding
+// names past the cardinality cap into the shared overflow bucket.
+func (e *Enforcer) stateLocked(name string) *principalState {
+	if st, ok := e.states[name]; ok {
+		return st
+	}
+	if len(e.states) >= maxPrincipals {
+		st, ok := e.states[overflowName]
+		if !ok {
+			st = &principalState{name: overflowName}
+			e.states[overflowName] = st
+		}
+		return st
+	}
+	st := &principalState{name: name}
+	e.states[name] = st
+	return st
+}
+
+// Release returns the grant's in-flight slot and feeds the hold-time
+// EWMA behind in-flight Retry-After hints. Safe to call more than once.
+func (g *Grant) Release() {
+	if g == nil || g.e == nil {
+		return
+	}
+	g.once.Do(func() {
+		g.e.mu.Lock()
+		defer g.e.mu.Unlock()
+		if g.st.inflight > 0 {
+			g.st.inflight--
+		}
+		if hold := g.e.now().Sub(g.start); hold >= 0 {
+			if g.st.holdEWMA == 0 {
+				g.st.holdEWMA = hold
+			} else {
+				g.st.holdEWMA += (hold - g.st.holdEWMA) / 8
+			}
+		}
+	})
+}
+
+// ChargeExtra debits n extra rate tokens from the grant's principal —
+// how a batch request carrying k entries pays the same rate cost as k
+// single requests (the admission itself already paid the first token).
+// The balance floors at the shed band, so a huge batch cannot bank
+// unbounded debt, but the debt it does bank demotes (and eventually
+// sheds) the principal's next requests.
+func (g *Grant) ChargeExtra(n int) {
+	if g == nil || g.e == nil || n <= 0 {
+		return
+	}
+	p := g.Principal
+	rate := p.Limits.RatePerSec
+	if rate <= 0 {
+		return
+	}
+	burst := p.Limits.Burst
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	g.e.mu.Lock()
+	defer g.e.mu.Unlock()
+	g.st.balance -= float64(n)
+	if g.st.balance < -2*burst {
+		g.st.balance = -2 * burst
+	}
+}
+
+// PrincipalQuotaStats is one principal's point-in-time budget state and
+// counters.
+type PrincipalQuotaStats struct {
+	// Name is the principal.
+	Name string `json:"name"`
+	// Tokens is the current token-bucket balance (negative: in
+	// overdraft, riding the ladder). Zero and meaningless for
+	// principals with no rate limit.
+	Tokens float64 `json:"tokens"`
+	// InFlight is the number of currently held grants.
+	InFlight int `json:"in_flight"`
+	// Admitted counts granted admissions.
+	Admitted uint64 `json:"admitted"`
+	// Demoted counts admissions granted below the principal's MaxClass
+	// by a quota rung.
+	Demoted uint64 `json:"demoted"`
+	// ShedRate counts sheds past the rate ladder.
+	ShedRate uint64 `json:"shed_rate"`
+	// ShedInFlight counts sheds past the in-flight ladder.
+	ShedInFlight uint64 `json:"shed_inflight"`
+}
+
+// Stats snapshots every tracked principal's budget, sorted by name.
+func (e *Enforcer) Stats() []PrincipalQuotaStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]PrincipalQuotaStats, 0, len(e.states))
+	for _, st := range e.states {
+		out = append(out, PrincipalQuotaStats{
+			Name:         st.name,
+			Tokens:       st.balance,
+			InFlight:     st.inflight,
+			Admitted:     st.admitted,
+			Demoted:      st.demoted,
+			ShedRate:     st.shedRate,
+			ShedInFlight: st.shedInflight,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,227 @@
+package auth
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ssync/internal/sched"
+)
+
+// fakeClock drives the enforcer deterministically.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testEnforcer() (*Enforcer, *fakeClock) {
+	e := NewEnforcer()
+	clk := newFakeClock()
+	e.now = clk.now
+	return e, clk
+}
+
+func TestRateLadderDemotesThenSheds(t *testing.T) {
+	e, _ := testEnforcer()
+	p := &Principal{Name: "a", Limits: Limits{RatePerSec: 1, Burst: 2}}
+
+	// Burst 2: balances walk 2,1,0,−1 (batch band is ≥ 1−B = −1),
+	// then −2,−3 (background band ≥ 1−2B = −3), then shed.
+	want := []sched.Class{
+		sched.Interactive, sched.Interactive,
+		sched.Batch, sched.Batch,
+		sched.Background, sched.Background,
+	}
+	for i, cls := range want {
+		g, err := e.Admit(p)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if g.Class != cls {
+			t.Fatalf("admit %d: class %q, want %q", i, g.Class, cls)
+		}
+		if demoted := cls != sched.Interactive; g.Demoted != demoted {
+			t.Fatalf("admit %d: Demoted = %v at class %q", i, g.Demoted, cls)
+		}
+		g.Release()
+	}
+	_, err := e.Admit(p)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("ladder exhausted: want *QuotaError/ErrOverQuota, got %v", err)
+	}
+	if qe.Reason != "rate" || qe.Principal != "a" || qe.Retry <= 0 {
+		t.Fatalf("quota error fields: %+v", qe)
+	}
+}
+
+func TestRateRefillRestoresFullPriority(t *testing.T) {
+	e, clk := testEnforcer()
+	p := &Principal{Name: "a", Limits: Limits{RatePerSec: 10, Burst: 2}}
+	for {
+		g, err := e.Admit(p)
+		if err != nil {
+			break // ladder exhausted
+		}
+		g.Release()
+	}
+	// A full drain refills in (B − (−2B))/rate = 3B/rate = 600ms.
+	clk.advance(time.Second)
+	g, err := e.Admit(p)
+	if err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if g.Class != sched.Interactive || g.Demoted {
+		t.Fatalf("refilled principal should be back at interactive, got %q", g.Class)
+	}
+}
+
+func TestInflightLadder(t *testing.T) {
+	e, _ := testEnforcer()
+	p := &Principal{Name: "a", Limits: Limits{MaxInFlight: 1}}
+
+	var held []*Grant
+	for i, want := range []sched.Class{sched.Interactive, sched.Batch, sched.Background} {
+		g, err := e.Admit(p)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if g.Class != want {
+			t.Fatalf("admit %d: class %q, want %q", i, g.Class, want)
+		}
+		held = append(held, g)
+	}
+	_, err := e.Admit(p)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Reason != "inflight" {
+		t.Fatalf("4th concurrent admit should shed on inflight, got %v", err)
+	}
+	if qe.Retry <= 0 {
+		t.Fatalf("inflight shed should carry a retry hint, got %v", qe.Retry)
+	}
+
+	// Releasing everything restores full priority; double-release must
+	// not double-decrement.
+	for _, g := range held {
+		g.Release()
+		g.Release()
+	}
+	g, err := e.Admit(p)
+	if err != nil || g.Class != sched.Interactive {
+		t.Fatalf("after release: %v, class %v", err, g.Class)
+	}
+}
+
+func TestMaxClassCapsGrantWithoutDemotedFlag(t *testing.T) {
+	e, _ := testEnforcer()
+	p := &Principal{Name: "a", Limits: Limits{MaxClass: sched.Batch}}
+	g, err := e.Admit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Class != sched.Batch {
+		t.Fatalf("MaxClass should cap the grant, got %q", g.Class)
+	}
+	if g.Demoted {
+		t.Fatal("a MaxClass cap is policy, not quota demotion")
+	}
+}
+
+func TestUnlimitedPrincipalNeverDegrades(t *testing.T) {
+	e, _ := testEnforcer()
+	p := &Principal{Name: "free"}
+	for i := 0; i < 100; i++ {
+		g, err := e.Admit(p)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if g.Class != sched.Interactive || g.Demoted {
+			t.Fatalf("unlimited principal demoted at admit %d", i)
+		}
+	}
+}
+
+func TestChargeExtraBanksDebt(t *testing.T) {
+	e, _ := testEnforcer()
+	p := &Principal{Name: "a", Limits: Limits{RatePerSec: 1, Burst: 5}}
+	g, err := e.Admit(p)
+	if err != nil || g.Class != sched.Interactive {
+		t.Fatalf("first admit: %v, %v", g, err)
+	}
+	// A 100-entry batch pays 99 extra tokens; the balance floors at the
+	// shed band instead of going unboundedly negative...
+	g.ChargeExtra(99)
+	g.Release()
+	// ...so the next request sheds on rate.
+	if _, err := e.Admit(p); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("after a huge batch the next admit should shed, got %v", err)
+	}
+	st := e.Stats()
+	if len(st) != 1 || st[0].Tokens != -10 {
+		t.Fatalf("balance should floor at -2*burst = -10, got %+v", st)
+	}
+}
+
+func TestEnforcerStats(t *testing.T) {
+	e, _ := testEnforcer()
+	b := &Principal{Name: "b", Limits: Limits{RatePerSec: 1, Burst: 1}}
+	a := &Principal{Name: "a"}
+	g, _ := e.Admit(a)
+	_ = g // a holds one grant
+	for i := 0; i < 10; i++ {
+		if g, err := e.Admit(b); err == nil {
+			g.Release()
+		}
+	}
+	st := e.Stats()
+	if len(st) != 2 || st[0].Name != "a" || st[1].Name != "b" {
+		t.Fatalf("stats should list both principals sorted, got %+v", st)
+	}
+	if st[0].InFlight != 1 || st[0].Admitted != 1 {
+		t.Fatalf("a: %+v", st[0])
+	}
+	if st[1].ShedRate == 0 || st[1].Demoted == 0 {
+		t.Fatalf("b should have ridden the ladder and shed: %+v", st[1])
+	}
+}
+
+func TestContextPlumbingAndClamp(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := PrincipalFrom(ctx); ok {
+		t.Fatal("bare context should carry no principal")
+	}
+	if got := Clamp(ctx, sched.Interactive); got != sched.Interactive {
+		t.Fatalf("bare context must not clamp, got %q", got)
+	}
+
+	p := &Principal{Name: "a", Limits: Limits{MaxClass: sched.Batch}}
+	pctx := WithPrincipal(ctx, p)
+	if got, ok := PrincipalFrom(pctx); !ok || got != p {
+		t.Fatal("WithPrincipal/PrincipalFrom round trip failed")
+	}
+	if got := Clamp(pctx, sched.Interactive); got != sched.Batch {
+		t.Fatalf("MaxClass should clamp interactive to batch, got %q", got)
+	}
+	if got := Clamp(pctx, sched.Background); got != sched.Background {
+		t.Fatalf("clamp must never promote, got %q", got)
+	}
+
+	e, _ := testEnforcer()
+	g, err := e.Admit(&Principal{Name: "b", Limits: Limits{RatePerSec: 1, Burst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gctx := WithGrant(ctx, g)
+	if got, ok := GrantFrom(gctx); !ok || got != g {
+		t.Fatal("WithGrant/GrantFrom round trip failed")
+	}
+	if got, ok := PrincipalFrom(gctx); !ok || got.Name != "b" {
+		t.Fatal("PrincipalFrom should see the grant's principal")
+	}
+	ChargeExtra(gctx, 3)
+	ChargeExtra(ctx, 3) // grantless context: no-op, must not panic
+	g.Release()
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssync/internal/auth"
 	"ssync/internal/circuit"
 	"ssync/internal/core"
 	"ssync/internal/device"
@@ -527,6 +528,12 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		e.errors.Add(1)
 		return out
 	}
+	// Clamp the class to any principal cap or quota grant the context
+	// carries. Enforcing it here — not only at the HTTP edge — means a
+	// principal's MaxClass holds for embedders too, and a cache hit still
+	// never pays an admission (the clamp only matters when compile
+	// acquires a slot).
+	req.Priority = auth.Clamp(ctx, req.Priority)
 	// The request timeout and absolute deadline bound everything Do does
 	// on the request's behalf — queueing for a worker slot, waiting on a
 	// coalesced in-flight compilation, and compiling — so a
@@ -761,6 +768,7 @@ func (e *Engine) Limit(ctx context.Context, fn func() error) error {
 // Engine.Do: compilation acquires its own slot, and holding one across
 // that acquisition could deadlock a fully-loaded engine.
 func (e *Engine) LimitAs(ctx context.Context, class sched.Class, fn func() error) error {
+	class = auth.Clamp(ctx, class)
 	if e.sched != nil {
 		release, err := e.sched.Acquire(ctx, class)
 		if err != nil {

@@ -24,6 +24,7 @@ const (
 	ctxRequestID ctxKey = iota
 	ctxLogger
 	ctxTrace
+	ctxPrincipal
 )
 
 // idFallback distinguishes minted IDs if crypto/rand ever fails (it
@@ -72,4 +73,22 @@ func Logger(ctx context.Context) *slog.Logger {
 		return l
 	}
 	return slog.Default()
+}
+
+// WithPrincipalName returns ctx carrying the authenticated principal's
+// name. The auth layer attaches it alongside its richer Principal value;
+// it lives here (stdlib-only) so the scheduler can account admissions
+// per principal without depending on the auth package.
+func WithPrincipalName(ctx context.Context, name string) context.Context {
+	if name == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxPrincipal, name)
+}
+
+// PrincipalName returns the principal name carried by ctx, or "" for an
+// unattributed request.
+func PrincipalName(ctx context.Context) string {
+	name, _ := ctx.Value(ctxPrincipal).(string)
+	return name
 }

@@ -61,6 +61,30 @@ func ParseClass(s string) (Class, error) {
 		s, Interactive, Batch, Background)
 }
 
+// Rank returns a class's position in the canonical strongest-first
+// order (0 = interactive; "" resolves to interactive). ok is false for
+// unknown class names.
+func Rank(c Class) (int, bool) { return c.index() }
+
+// Weaker returns the weaker (lower-priority) of two classes — how a
+// quota cap combines with a requested class: the request runs at
+// whichever is worse. An unknown class name yields the other operand
+// (ParseClass is where unknown names are rejected; Weaker only orders).
+func Weaker(a, b Class) Class {
+	ai, aok := a.index()
+	bi, bok := b.index()
+	switch {
+	case !aok:
+		return b
+	case !bok:
+		return a
+	case bi > ai:
+		return Classes[bi]
+	default:
+		return Classes[ai]
+	}
+}
+
 // index maps a class to its slot in the per-class arrays — the single
 // place class names are resolved (ParseClass and every per-class lookup
 // derive from it, so adding a class means extending Classes and
@@ -155,15 +179,36 @@ type classState struct {
 	maxWait       time.Duration
 }
 
+// principalCounters is one principal's slice of the scheduler's
+// admission accounting; guarded by the scheduler's mutex. The name
+// comes off the request context (obs.PrincipalName), so accounting
+// works wherever the auth layer attributed the request, without sched
+// depending on the auth package.
+type principalCounters struct {
+	admitted uint64
+	shed     uint64
+	inflight int
+}
+
+// maxPrincipals defensively bounds the per-principal accounting map;
+// names past the cap share one "overflow" bucket. Real principal names
+// come from a keys file, far below this.
+const maxPrincipals = 1024
+
+// overflowPrincipal is the shared accounting bucket for principal names
+// past maxPrincipals.
+const overflowPrincipal = "overflow"
+
 // Scheduler hands a fixed budget of worker slots out across weighted
 // priority classes with bounded queues and deadline-aware admission. It
 // is safe for concurrent use.
 type Scheduler struct {
-	hooks   obs.Hooks // nil: not instrumented
-	mu      sync.Mutex
-	slots   int
-	busy    int
-	classes [NumClasses]classState
+	hooks      obs.Hooks // nil: not instrumented
+	mu         sync.Mutex
+	slots      int
+	busy       int
+	classes    [NumClasses]classState
+	principals map[string]*principalCounters
 	// avgService is an EWMA of observed slot-hold durations, the basis of
 	// queue-wait estimates; zero until the first release (no estimate →
 	// no deadline shedding, so a cold scheduler never rejects on a guess).
@@ -177,7 +222,11 @@ func New(cfg Config) *Scheduler {
 	if cfg.Slots <= 0 {
 		panic("sched: New needs a positive slot count")
 	}
-	s := &Scheduler{slots: cfg.Slots, hooks: cfg.Hooks}
+	s := &Scheduler{
+		slots:      cfg.Slots,
+		hooks:      cfg.Hooks,
+		principals: make(map[string]*principalCounters),
+	}
 	for i := range s.classes {
 		cc := cfg.Class[Classes[i]]
 		if cc.Weight <= 0 {
@@ -214,13 +263,15 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	principal := obs.PrincipalName(ctx)
 	s.mu.Lock()
 	c := &s.classes[idx]
 	if s.busy < s.slots {
 		s.busy++
 		c.admitted++
+		s.admitPrincipalLocked(principal)
 		s.mu.Unlock()
-		return s.releaseFunc(), nil
+		return s.releaseFunc(principal), nil
 	}
 	// All slots busy: admission control, then queue. The queue-full
 	// retry hint estimates one same-class handoff — when queue room
@@ -228,6 +279,7 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 	// Retry-After refill the queue instead of leaving slots idle.
 	if c.cfg.QueueLimit >= 0 && len(c.queue) >= c.cfg.QueueLimit {
 		c.shedQueueFull++
+		s.shedPrincipalLocked(principal)
 		err := &QueueFullError{Class: Classes[idx], Limit: c.cfg.QueueLimit, Retry: s.waitLocked(idx, 1)}
 		s.mu.Unlock()
 		obs.Logger(ctx).Debug("sched: shed, queue full",
@@ -238,6 +290,7 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 		estimate := s.estimateLocked(idx)
 		if remaining := time.Until(dl); estimate > remaining {
 			c.shedDeadline++
+			s.shedPrincipalLocked(principal)
 			err := &DeadlineError{Class: Classes[idx], Estimate: estimate, Remaining: remaining, Retry: estimate}
 			s.mu.Unlock()
 			obs.Logger(ctx).Debug("sched: shed, deadline unmeetable",
@@ -256,11 +309,12 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 		// abandoned, never as a phantom admission.
 		s.mu.Lock()
 		c.admitted++
+		s.admitPrincipalLocked(principal)
 		s.mu.Unlock()
 		if s.hooks != nil {
 			s.hooks.QueueWait(string(Classes[idx]), time.Since(w.enqueued))
 		}
-		return s.releaseFunc(), nil
+		return s.releaseFunc(principal), nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		if w.granted {
@@ -283,17 +337,58 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 
 // releaseFunc builds the idempotent slot-release closure handed to a
 // successful Acquire. The slot-hold duration feeds the service-time EWMA
-// behind queue-wait estimates.
-func (s *Scheduler) releaseFunc() func() {
+// behind queue-wait estimates; the principal name (captured at
+// admission, "" for unattributed requests) has its in-flight gauge
+// returned.
+func (s *Scheduler) releaseFunc(principal string) func() {
 	start := time.Now()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			s.mu.Lock()
 			s.observeServiceLocked(time.Since(start))
+			if pc := s.principalLocked(principal); pc != nil && pc.inflight > 0 {
+				pc.inflight--
+			}
 			s.handoffLocked()
 			s.mu.Unlock()
 		})
+	}
+}
+
+// principalLocked returns the accounting bucket for a principal name
+// ("" — an unattributed request — has none), creating it up to the
+// cardinality cap and folding the excess into the overflow bucket.
+func (s *Scheduler) principalLocked(name string) *principalCounters {
+	if name == "" {
+		return nil
+	}
+	if pc, ok := s.principals[name]; ok {
+		return pc
+	}
+	if len(s.principals) >= maxPrincipals {
+		name = overflowPrincipal
+		if pc, ok := s.principals[name]; ok {
+			return pc
+		}
+	}
+	pc := &principalCounters{}
+	s.principals[name] = pc
+	return pc
+}
+
+// admitPrincipalLocked records one admission for the principal.
+func (s *Scheduler) admitPrincipalLocked(name string) {
+	if pc := s.principalLocked(name); pc != nil {
+		pc.admitted++
+		pc.inflight++
+	}
+}
+
+// shedPrincipalLocked records one shed for the principal.
+func (s *Scheduler) shedPrincipalLocked(name string) {
+	if pc := s.principalLocked(name); pc != nil {
+		pc.shed++
 	}
 }
 

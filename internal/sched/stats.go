@@ -1,6 +1,23 @@
 package sched
 
-import "time"
+import (
+	"sort"
+	"time"
+)
+
+// PrincipalStats is one principal's admission accounting, attributed
+// from the principal name the auth layer put on the request context
+// (obs.PrincipalName). Unattributed requests are not counted here.
+type PrincipalStats struct {
+	// Name is the principal (or "overflow" past the cardinality cap).
+	Name string
+	// Admitted counts slot acquisitions.
+	Admitted uint64
+	// Shed counts admission rejections (queue full or deadline).
+	Shed uint64
+	// InFlight is the number of slots currently held.
+	InFlight int
+}
 
 // ClassStats is one priority class's point-in-time counters.
 type ClassStats struct {
@@ -63,6 +80,11 @@ type Stats struct {
 	// Classes reports per-class counters in canonical order
 	// (interactive, batch, background).
 	Classes [NumClasses]ClassStats
+	// Principals reports per-principal admission accounting, sorted by
+	// name; empty when no request ever carried a principal. Cardinality
+	// is bounded by the auth layer's registry (plus one overflow
+	// bucket), so metrics exporters may label by Name.
+	Principals []PrincipalStats
 }
 
 // Stats snapshots the scheduler under one lock.
@@ -86,6 +108,20 @@ func (s *Scheduler) Stats() Stats {
 			TotalWait:     c.totalWait,
 			MaxWait:       c.maxWait,
 		}
+	}
+	if len(s.principals) > 0 {
+		out.Principals = make([]PrincipalStats, 0, len(s.principals))
+		for name, pc := range s.principals {
+			out.Principals = append(out.Principals, PrincipalStats{
+				Name:     name,
+				Admitted: pc.admitted,
+				Shed:     pc.shed,
+				InFlight: pc.inflight,
+			})
+		}
+		sort.Slice(out.Principals, func(i, j int) bool {
+			return out.Principals[i].Name < out.Principals[j].Name
+		})
 	}
 	return out
 }

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"ssync/internal/auth"
 	"ssync/internal/circuit"
 	"ssync/internal/core"
 	"ssync/internal/device"
@@ -609,6 +610,94 @@ func AnnealedMapping(cfg MappingConfig, ann AnnealConfig, c *Circuit, topo *Topo
 func CompileWithPlacement(cfg CompileConfig, c *Circuit, topo *Topology, p *Placement) (*CompileResult, error) {
 	return core.CompileWithPlacement(cfg, c, topo, p)
 }
+
+// ---- access control & quotas ----
+
+// Principal is an authenticated caller identity: a stable name plus its
+// per-principal quota limits. ssyncd resolves one from each request's
+// API key (-auth-keys) and threads it through the request context, where
+// the engine's admission path reads it for per-principal scheduling
+// accountability and priority clamping.
+type Principal = auth.Principal
+
+// AuthLimits is one principal's quota envelope: sustained request rate
+// and burst, a concurrent in-flight cap, and the strongest priority
+// class it may claim. Zero fields mean unlimited.
+type AuthLimits = auth.Limits
+
+// AuthConfig configures an APIKeyAuthenticator: the hashed-keys file
+// (hot-reloaded on change), whether credential-less callers are
+// admitted as the shared anonymous principal, and the default limits
+// applied to key lines that set none.
+type AuthConfig = auth.Config
+
+// APIKeyAuthenticator resolves API keys to Principals from a
+// hot-reloaded file of SHA-256 key hashes (one
+// "<sha256-hex> <name> [rate=N] [burst=N] [inflight=N]
+// [max-priority=class]" line per key). Lookups compare in constant
+// time; edits to the file take effect on the next request without a
+// restart, and a bad edit keeps the previous generation serving.
+type APIKeyAuthenticator = auth.Authenticator
+
+// NewAPIKeyAuthenticator opens an authenticator over cfg, loading the
+// keys file strictly: a malformed file fails construction rather than
+// silently serving an empty key set.
+func NewAPIKeyAuthenticator(cfg AuthConfig) (*APIKeyAuthenticator, error) {
+	return auth.NewAuthenticator(cfg)
+}
+
+// QuotaEnforcer meters admitted work per principal and degrades
+// gracefully instead of hard-failing: an over-budget principal's
+// requests are first demoted down the priority ladder (interactive →
+// batch → background), and only shed — with a retry hint — once the
+// principal is over budget even at background. Within-budget
+// principals are never affected by a neighbour's flood.
+type QuotaEnforcer = auth.Enforcer
+
+// NewQuotaEnforcer returns an empty quota enforcer.
+func NewQuotaEnforcer() *QuotaEnforcer { return auth.NewEnforcer() }
+
+// HashAPIKey returns the lowercase SHA-256 hex digest of a plaintext
+// API key — the form keys files store, so plaintext keys never rest on
+// disk.
+func HashAPIKey(key string) string { return auth.HashKey(key) }
+
+// AnonymousPrincipal is the shared principal name for credential-less
+// callers admitted under AuthConfig.Optional.
+const AnonymousPrincipal = auth.AnonymousName
+
+// WithPrincipal returns ctx carrying the authenticated principal; the
+// engine's admission path clamps request priority to the principal's
+// cap and accounts scheduling per principal name.
+func WithPrincipal(ctx context.Context, p *Principal) context.Context {
+	return auth.WithPrincipal(ctx, p)
+}
+
+// PrincipalFrom returns the principal carried by ctx, or ok=false for
+// an unauthenticated context.
+func PrincipalFrom(ctx context.Context) (*Principal, bool) {
+	return auth.PrincipalFrom(ctx)
+}
+
+// ErrUnauthenticated is the sentinel under authentication failures on a
+// service that requires credentials (HTTP 401 from ssyncd).
+var ErrUnauthenticated = auth.ErrUnauthenticated
+
+// ErrUnknownAPIKey is the sentinel under lookups of well-formed keys
+// absent from the key set — a wrong key is always rejected, never
+// downgraded to anonymous (HTTP 401 from ssyncd).
+var ErrUnknownAPIKey = auth.ErrUnknownKey
+
+// ErrOverQuota is the sentinel under quota-shed errors: the principal
+// was over budget even at background priority, so the request was
+// rejected with a retry hint instead of admitted (HTTP 429 from
+// ssyncd). QuotaRetryAfter extracts the hint.
+var ErrOverQuota = auth.ErrOverQuota
+
+// QuotaRetryAfter extracts the retry hint carried by a quota-shed error
+// chain (ok=false for other errors) — the same estimate ssyncd turns
+// into Retry-After headers on auth 429s.
+func QuotaRetryAfter(err error) (time.Duration, bool) { return auth.RetryAfter(err) }
 
 // ---- observability ----
 
