@@ -3,10 +3,13 @@
 # compose runs it as N replicas (-cache-shared over one mounted cache
 # volume) and one router (-mode=router) in front of them.
 FROM golang:1.24-alpine AS build
+ARG VERSION=dev
 WORKDIR /src
 COPY go.mod ./
 COPY . .
-RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/ssyncd ./cmd/ssyncd
+RUN CGO_ENABLED=0 go build -trimpath \
+    -ldflags="-s -w -X main.version=${VERSION}" \
+    -o /out/ssyncd ./cmd/ssyncd
 
 FROM alpine:3.20
 RUN adduser -D -u 10001 ssync && mkdir -p /cache && chown ssync /cache

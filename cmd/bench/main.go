@@ -7,11 +7,18 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-pr 8] [-out BENCH_8.json] [-benchtime 1x]
+//	go run ./cmd/bench [-pr 9] [-out BENCH_9.json] [-benchtime 1x]
 //
 // The harness shells out to `go test -bench` (so the numbers are the
 // same ones a developer sees) and parses the standard benchmark output
 // lines; it must run from the repository root.
+//
+// It doubles as the CI regression gate: with -gate-old and -gate-new
+// it runs no benchmarks, just diffs two recorded documents and exits
+// nonzero when any benchmark slowed by more than -gate-threshold
+// percent. Entries whose baseline is below one millisecond are too
+// noisy at -benchtime 1x to fail a build on; they are reported as
+// warnings only.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -125,11 +133,11 @@ func parseBenchOutput(out string) []benchResult {
 	return results
 }
 
-// runBench executes one `go test -bench` invocation and parses its
-// result lines.
-func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
+// runBench executes one `go test -bench` invocation with count
+// repetitions and parses its result lines.
+func runBench(pkg, pattern, benchtime string, count int) ([]benchResult, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
-		"-benchtime", benchtime, "-benchmem", pkg)
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-benchmem", pkg)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		return nil, fmt.Errorf("go test -bench %s %s: %w\n%s", pattern, pkg, err, out)
@@ -138,7 +146,29 @@ func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no benchmark results parsed from %s %s:\n%s", pkg, pattern, out)
 	}
-	return results, nil
+	return medianByName(results), nil
+}
+
+// medianByName collapses -count repetitions of each benchmark into one
+// entry carrying the median (p50) timing — the statistic the CI gate
+// compares — so a single descheduled repetition cannot fake a
+// regression. Order of first appearance is preserved.
+func medianByName(results []benchResult) []benchResult {
+	groups := map[string][]benchResult{}
+	var order []string
+	for _, r := range results {
+		if len(groups[r.Name]) == 0 {
+			order = append(order, r.Name)
+		}
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	out := make([]benchResult, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		sort.Slice(g, func(i, j int) bool { return g[i].NsPerOp < g[j].NsPerOp })
+		out = append(out, g[len(g)/2])
+	}
+	return out
 }
 
 // measureCacheRates compiles a three-route-variant pipeline workload
@@ -279,15 +309,97 @@ func printDelta(baselinePath string, doc document) {
 	}
 }
 
+// gateNoiseFloorNs is the baseline ns/op below which a regression is
+// warned about but cannot fail the gate: sub-millisecond entries
+// measured at -benchtime 1x swing tens of percent run to run.
+const gateNoiseFloorNs = 1e6
+
+// loadDocument reads and parses one recorded BENCH_<pr>.json.
+func loadDocument(path string) (document, error) {
+	var doc document
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runGate diffs newPath against oldPath and returns the process exit
+// code: 1 when any benchmark above the noise floor regressed by more
+// than threshold percent, 0 otherwise. Benchmarks present on only one
+// side never fail the gate — renames and new coverage are not
+// regressions.
+func runGate(oldPath, newPath string, threshold float64) int {
+	old, err := loadDocument(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench gate: %v\n", err)
+		return 1
+	}
+	cur, err := loadDocument(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench gate: %v\n", err)
+		return 1
+	}
+	prev := make(map[string]float64, len(old.Results))
+	for _, r := range old.Results {
+		prev[r.Name] = r.NsPerOp
+	}
+	fmt.Printf("bench gate: %s (PR %d) vs baseline %s (PR %d), threshold +%.0f%%\n",
+		newPath, cur.PR, oldPath, old.PR, threshold)
+	fail := 0
+	for _, r := range cur.Results {
+		base, ok := prev[r.Name]
+		if !ok || base == 0 {
+			fmt.Printf("  NEW   %-55s %12.0f ns/op\n", r.Name, r.NsPerOp)
+			continue
+		}
+		pct := 100 * (r.NsPerOp - base) / base
+		switch {
+		case pct <= threshold:
+			fmt.Printf("  ok    %-55s %12.0f ns/op  %+7.1f%%\n", r.Name, r.NsPerOp, pct)
+		case base < gateNoiseFloorNs:
+			fmt.Printf("  WARN  %-55s %12.0f ns/op  %+7.1f%%  (sub-ms baseline, too noisy to gate)\n",
+				r.Name, r.NsPerOp, pct)
+		default:
+			fmt.Printf("  FAIL  %-55s %12.0f ns/op  %+7.1f%%  (baseline %.0f ns/op)\n",
+				r.Name, r.NsPerOp, pct, base)
+			fail = 1
+		}
+	}
+	if fail != 0 {
+		fmt.Printf("bench gate: FAILED — at least one benchmark regressed more than %.0f%%\n", threshold)
+	} else {
+		fmt.Println("bench gate: passed")
+	}
+	return fail
+}
+
 func main() {
 	var (
-		pr        = flag.Int("pr", 8, "PR number stamped into the document (and the default output name)")
+		pr        = flag.Int("pr", 9, "PR number stamped into the document (and the default output name)")
 		out       = flag.String("out", "", "output path (default BENCH_<pr>.json)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		count     = flag.Int("count", 5, "go test -count repetitions; the recorded timing is the median")
 		baseline  = flag.String("baseline", "",
 			"previous BENCH_<pr>.json to diff against (default: highest-numbered BENCH_<k>.json with k below -pr; \"none\" disables)")
+		gateOld = flag.String("gate-old", "",
+			"gate mode: baseline BENCH_<pr>.json (requires -gate-new; runs no benchmarks)")
+		gateNew = flag.String("gate-new", "",
+			"gate mode: candidate BENCH_<pr>.json to compare against -gate-old")
+		gateThreshold = flag.Float64("gate-threshold", 15,
+			"gate mode: maximum tolerated ns/op regression, percent")
 	)
 	flag.Parse()
+	if *gateOld != "" || *gateNew != "" {
+		if *gateOld == "" || *gateNew == "" {
+			fmt.Fprintln(os.Stderr, "bench gate: -gate-old and -gate-new must be set together")
+			os.Exit(2)
+		}
+		os.Exit(runGate(*gateOld, *gateNew, *gateThreshold))
+	}
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%d.json", *pr)
@@ -308,7 +420,7 @@ func main() {
 		{"./cmd/ssyncd", "^(BenchmarkRouterOverhead|BenchmarkAuthOverhead)$"},
 	} {
 		fmt.Fprintf(os.Stderr, "bench: running %s in %s\n", spec.pattern, spec.pkg)
-		results, err := runBench(spec.pkg, spec.pattern, *benchtime)
+		results, err := runBench(spec.pkg, spec.pattern, *benchtime, *count)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"ssync/internal/auth"
 	"ssync/internal/obs"
@@ -131,6 +132,7 @@ func credential(r *http.Request) (string, error) {
 func (al *authLayer) guard(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
+		start := time.Now()
 		if hdr := r.Header.Get(auth.IdentityHeader); hdr != "" {
 			p, err := al.verifyIdentity(hdr)
 			if err != nil {
@@ -138,6 +140,7 @@ func (al *authLayer) guard(next http.Handler) http.Handler {
 				return
 			}
 			al.reqs.With("forwarded").Inc()
+			recordAuthSpan(ctx, start, "forwarded", p.Name, nil)
 			next.ServeHTTP(w, r.WithContext(auth.WithPrincipal(al.tagged(ctx, p), p)))
 			return
 		}
@@ -164,8 +167,30 @@ func (al *authLayer) guard(next http.Handler) http.Handler {
 			outcome = "anonymous"
 		}
 		al.reqs.With(outcome).Inc()
+		recordAuthSpan(ctx, start, outcome, p.Name, g)
 		next.ServeHTTP(w, r.WithContext(auth.WithGrant(al.tagged(ctx, p), g)))
 	})
+}
+
+// recordAuthSpan traces the access-control decision, so a request's
+// timeline names the principal it resolved to and — when the quota
+// ladder demoted it — the class it will actually queue in.
+func recordAuthSpan(ctx context.Context, start time.Time, outcome, principal string, g *auth.Grant) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return
+	}
+	attrs := map[string]string{"outcome": outcome}
+	if principal != "" {
+		attrs["principal"] = principal
+	}
+	if g != nil {
+		attrs["class"] = string(g.Class)
+		if g.Demoted {
+			attrs["demoted"] = "true"
+		}
+	}
+	tr.Record("", obs.SpanID(ctx), "auth.admit", start, time.Since(start), attrs)
 }
 
 // edgeGuard is the router-side middleware over the whole cluster proxy.
@@ -181,6 +206,7 @@ func (al *authLayer) edgeGuard(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		start := time.Now()
 		cred, err := credential(r)
 		var p *auth.Principal
 		if err == nil {
@@ -208,6 +234,8 @@ func (al *authLayer) edgeGuard(next http.Handler) http.Handler {
 			outcome = "anonymous"
 		}
 		al.reqs.With(outcome).Inc()
+		recordAuthSpan(r.Context(), start, outcome, p.Name, g)
+		setPrincipalTag(r.Context(), p.Name)
 		stripCredentials(r)
 		if al.signer != nil {
 			r.Header.Set(auth.IdentityHeader, al.signer.Sign(p, g.Class))

@@ -41,6 +41,8 @@
 //	POST /v2/batch     {"requests":[{...},{...}]}
 //	GET  /v2/compilers
 //	GET  /v2/stats
+//	GET  /v2/traces    (flight recorder: ?route=&principal=&min_ms=&limit=)
+//	GET  /v2/traces/{id}  (one request's span tree; stitched fleet-wide in router mode)
 //	GET  /metrics      (Prometheus text exposition)
 //	POST /v1/compile   (frozen schema; thin adapter over /v2)
 //	POST /v1/batch
@@ -71,6 +73,10 @@ import (
 	"ssync/internal/engine"
 	"ssync/internal/obs"
 )
+
+// version is the build identity reported by ssync_build_info; release
+// builds stamp it via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -106,6 +112,12 @@ func main() {
 			"admit requests without a credential as the shared \"anonymous\" principal instead of rejecting them with 401 (a wrong key is still rejected)")
 		clusterSecret = flag.String("cluster-secret", "",
 			"shared HMAC secret for the internal identity header: a router signs the authenticated principal toward its replicas, replicas verify it — so API keys never leave the edge")
+		traceBuffer = flag.Int("trace-buffer", 512,
+			"flight-recorder capacity in retained traces (errored and slow requests are always kept; 0 disables the recorder and /v2/traces)")
+		traceSample = flag.Int("trace-sample", 16,
+			"keep one of every N normal (fast, successful) traces per route in the flight recorder")
+		traceSlow = flag.Duration("trace-slow", 0,
+			"dump the span tree of any request slower than this to the log at warn level, regardless of -log-level (0 disables)")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -120,9 +132,10 @@ func main() {
 		log.Fatal(err)
 	}
 	aopt := authOptions{keysFile: *authKeys, optional: *authOptional, secret: *clusterSecret}
+	topt := traceOptions{buffer: *traceBuffer, sample: *traceSample, slow: *traceSlow}
 	switch *mode {
 	case "router":
-		if err := runRouter(*addr, *replicas, *drain, aopt, logger); err != nil {
+		if err := runRouter(*addr, *replicas, *drain, aopt, topt, logger); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -142,6 +155,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.recorder = topt.recorder()
+	srv.traceSlow = topt.slow
 	if aopt.enabled() {
 		al, err := newAuthLayer(aopt, srv.reg, logger)
 		if err != nil {

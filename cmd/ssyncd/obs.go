@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"ssync/internal/engine"
@@ -25,12 +26,16 @@ import (
 var knownRoutes = map[string]bool{
 	"/v1/compile": true, "/v1/batch": true, "/v1/stats": true,
 	"/v2/compile": true, "/v2/batch": true, "/v2/compilers": true,
-	"/v2/passes": true, "/v2/stats": true, "/metrics": true,
+	"/v2/passes": true, "/v2/stats": true, "/v2/traces": true,
+	"/metrics": true,
 }
 
 func routeLabel(path string) string {
 	if knownRoutes[path] {
 		return path
+	}
+	if strings.HasPrefix(path, "/v2/traces/") {
+		return "/v2/traces/{id}"
 	}
 	return "other"
 }
@@ -115,8 +120,20 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		log := s.log.With("request_id", id)
 		ctx := obs.WithRequestID(r.Context(), id)
 		ctx = obs.WithLogger(ctx, log)
-		tr := obs.NewTrace()
+		// Continue the caller's distributed trace when it sent a valid
+		// traceparent (the router does, for proxied hops); otherwise mint
+		// a fresh trace. Malformed headers are ignored, never echoed.
+		var tr *obs.Trace
+		if tid, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			tr = obs.ContinueTrace(tid, parent)
+		} else {
+			tr = obs.NewTrace()
+		}
+		rootID := tr.NewSpanID()
+		tr.SetRoot(rootID)
+		w.Header().Set("X-Trace-ID", tr.ID())
 		ctx = obs.WithTrace(ctx, tr)
+		ctx = obs.WithSpan(ctx, rootID)
 		tag := &principalTag{}
 		ctx = withPrincipalTag(ctx, tag)
 
@@ -134,22 +151,51 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
 		s.httpDur.Observe(elapsed.Seconds(), route)
 
+		rootAttrs := map[string]string{
+			"method": r.Method, "route": route,
+			"status": strconv.Itoa(sw.status),
+		}
+		if tag.name != "" {
+			rootAttrs["principal"] = tag.name
+		}
+		tr.Record(rootID, tr.RemoteParent(), "http "+route, start, elapsed, rootAttrs)
+		s.recorder.Record(tr, route, tag.name, sw.status, elapsed)
+
 		attrs := []any{
 			"method", r.Method, "path", r.URL.Path, "status", sw.status,
 			"dur_ms", float64(elapsed) / float64(time.Millisecond),
+			"trace_id", tr.ID(),
 		}
 		if tag.name != "" {
 			attrs = append(attrs, "principal", tag.name)
 		}
 		log.Info("http request", attrs...)
-		if log.Enabled(ctx, slog.LevelDebug) {
-			for _, sp := range tr.Spans() {
-				log.Debug("trace span", "span", sp.Name,
-					"start_ms", float64(sp.Start)/float64(time.Millisecond),
-					"dur_ms", float64(sp.Dur)/float64(time.Millisecond))
-			}
-		}
+		dumpSlowTrace(ctx, log, s.traceSlow, tr, route, elapsed)
 	})
+}
+
+// dumpSlowTrace logs a request's full span tree at warn level when it
+// ran longer than the -trace-slow threshold — tail latency leaves its
+// decomposition in the log even at the default info level, whether or
+// not anyone ever fetches the trace from the recorder.
+func dumpSlowTrace(ctx context.Context, log *slog.Logger, slow time.Duration, tr *obs.Trace, route string, elapsed time.Duration) {
+	if tr == nil {
+		return
+	}
+	if slow > 0 && elapsed >= slow {
+		doc := obs.TraceRecord{TraceID: tr.ID(), Spans: tr.Spans()}.Document()
+		log.Warn("slow request", "route", route, "trace_id", tr.ID(),
+			"dur_ms", float64(elapsed)/float64(time.Millisecond),
+			"spans", "\n"+doc.RenderTree())
+		return
+	}
+	if log.Enabled(ctx, slog.LevelDebug) {
+		for _, sp := range tr.Spans() {
+			log.Debug("trace span", "span", sp.Name,
+				"start_ms", float64(sp.Start)/float64(time.Millisecond),
+				"dur_ms", float64(sp.Dur)/float64(time.Millisecond))
+		}
+	}
 }
 
 // snapshotMetrics are the counter/gauge families mirrored from one

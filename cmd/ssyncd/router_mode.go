@@ -15,6 +15,22 @@ import (
 	"ssync/internal/obs"
 )
 
+// traceOptions carries the -trace-* flags into either process role.
+type traceOptions struct {
+	buffer int
+	sample int
+	slow   time.Duration
+}
+
+// recorder builds the flight recorder the options describe, or nil
+// when -trace-buffer 0 disables recording.
+func (o traceOptions) recorder() *obs.Recorder {
+	if o.buffer <= 0 {
+		return nil
+	}
+	return obs.NewRecorder(obs.RecorderOptions{Capacity: o.buffer, SampleEvery: o.sample})
+}
+
 // runRouter is -mode=router: the process becomes a consistent-hash
 // reverse proxy over the -replicas fleet instead of a compiler. Requests
 // are keyed router-side with the same v4 content address the replicas
@@ -24,7 +40,7 @@ import (
 // spills to the second shard on the ring when its home is down or
 // shedding. The router's own GET /metrics exposes the ssync_cluster_*
 // families, and GET /cluster/stats the fleet snapshot.
-func runRouter(addr, replicaList string, drain time.Duration, aopt authOptions, logger *slog.Logger) error {
+func runRouter(addr, replicaList string, drain time.Duration, aopt authOptions, topt traceOptions, logger *slog.Logger) error {
 	var urls []string
 	for _, u := range strings.Split(replicaList, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -35,17 +51,21 @@ func runRouter(addr, replicaList string, drain time.Duration, aopt authOptions, 
 		return fmt.Errorf("-mode=router needs -replicas (comma-separated base URLs)")
 	}
 	reg := obs.NewRegistry()
+	rec := topt.recorder()
 	router, err := cluster.New(cluster.Options{
 		Replicas:     urls,
 		KeyFn:        routerRequestKey,
 		Logger:       logger,
 		Registry:     reg,
 		MaxBodyBytes: maxRequestBytes,
+		Recorder:     rec,
 	})
 	if err != nil {
 		return err
 	}
 	defer router.Close()
+	registerBuildInfo(reg, time.Now())
+	registerTraceMetrics(reg, rec.Stats)
 	// With access control on, the router is the fleet's authentication
 	// edge: API keys are checked and quota-admitted here, stripped from
 	// the proxied request, and the resolved identity travels to replicas
@@ -61,6 +81,10 @@ func runRouter(addr, replicaList string, drain time.Duration, aopt authOptions, 
 		}
 		handler = al.edgeGuard(router)
 	}
+	// The trace edge wraps the auth edge, so the router's own spans —
+	// auth.admit, cluster.key, every cluster.forward attempt — land in
+	// one trace whose ID travels to the chosen replica via traceparent.
+	handler = edgeInstrument(logger, rec, topt.slow, handler)
 	hs := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -139,6 +139,12 @@ type server struct {
 	// API-key authentication and per-principal quota degradation; nil
 	// (the default) leaves the service open exactly as before.
 	auth *authLayer
+	// recorder is the flight recorder behind GET /v2/traces; nil disables
+	// retention (requests are still traced for their own response).
+	recorder *obs.Recorder
+	// traceSlow, when positive, dumps any slower request's span tree to
+	// the log at warn level.
+	traceSlow time.Duration
 }
 
 func newServer(eng *engine.Engine, workers int, timeout time.Duration) *server {
@@ -149,6 +155,10 @@ func newServer(eng *engine.Engine, workers int, timeout time.Duration) *server {
 		eng: eng, workers: workers, timeout: timeout, start: time.Now(),
 		metrics: engine.NewCache[sim.Metrics](engine.DefaultCacheSize),
 		log:     slog.New(slog.DiscardHandler),
+		// The flight recorder is on by default ("always-on"): bounded
+		// memory, so embedders pay a fixed cost. main resizes or disables
+		// it from the -trace-* flags.
+		recorder: obs.NewRecorder(obs.RecorderOptions{}),
 	}
 	s.setRegistry(obs.NewRegistry())
 	return s
@@ -186,6 +196,10 @@ func (s *server) setRegistry(reg *obs.Registry) {
 	s.inflight = reg.Gauge("ssync_http_requests_inflight",
 		"HTTP requests currently being served.")
 	s.snap = newSnapshotMetrics(reg)
+	registerBuildInfo(reg, s.start)
+	// The stats closure reads s.recorder at scrape time, so main may swap
+	// or disable the recorder after construction without re-registering.
+	registerTraceMetrics(reg, func() obs.RecorderStats { return s.recorder.Stats() })
 	reg.OnScrape(func() { s.snap.update(s.eng.Stats()) })
 }
 
@@ -208,6 +222,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v2/compilers", s.handleCompilersV2)
 	mux.HandleFunc("/v2/passes", s.handlePassesV2)
 	mux.HandleFunc("/v2/stats", s.handleStatsV2)
+	mux.HandleFunc("GET /v2/traces", s.handleTracesList)
+	mux.HandleFunc("GET /v2/traces/{id}", s.handleTraceGet)
 	mux.Handle("/metrics", s.reg)
 	return s.instrument(mux)
 }

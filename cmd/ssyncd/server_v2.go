@@ -102,6 +102,9 @@ type compileResponseV2 struct {
 	// response header) in the body, so stored responses stay joinable to
 	// server logs. Batch entries share the enclosing request's ID.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID names the request's distributed trace (also the X-Trace-ID
+	// response header); fetch the span tree later at /v2/traces/<id>.
+	TraceID string `json:"trace_id,omitempty"`
 	// Priority is the scheduling class the request actually ran in —
 	// the requested (or default) class after the principal's quota
 	// clamp, so a demoted request can see it was demoted.
@@ -141,6 +144,8 @@ type batchResponseV2 struct {
 	Errors int `json:"errors"`
 	// RequestID echoes the batch request's correlation ID.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID names the batch request's distributed trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type compilersResponseV2 struct {
@@ -599,6 +604,7 @@ func (s *server) handleCompileV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.RequestID = obs.RequestID(r.Context())
+	resp.TraceID = obs.TraceFrom(r.Context()).ID()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -617,7 +623,11 @@ func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
-	resp := batchResponseV2{Results: results, RequestID: obs.RequestID(r.Context())}
+	resp := batchResponseV2{
+		Results:   results,
+		RequestID: obs.RequestID(r.Context()),
+		TraceID:   obs.TraceFrom(r.Context()).ID(),
+	}
 	for _, r2 := range results {
 		if r2.Error != "" {
 			resp.Errors++

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"ssync/internal/obs"
+)
+
+// The flight-recorder API surface: GET /v2/traces lists retained traces
+// (filterable by route, principal and min_ms), GET /v2/traces/<id>
+// returns one full span tree. Replicas serve their own recorder; in
+// router mode the router additionally stitches replica spans into its
+// trace (internal/cluster). Both endpoints are read-only diagnostics
+// and stay unauthenticated, like /metrics and /v2/stats.
+
+// handleTracesList serves GET /v2/traces.
+func (s *server) handleTracesList(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		httpError(w, http.StatusNotFound, "flight recorder disabled (-trace-buffer 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces": s.recorder.List(obs.ParseTraceQuery(r.URL.Query())),
+	})
+}
+
+// handleTraceGet serves GET /v2/traces/{id}. Hostile IDs — overlong,
+// non-hex, path-shaped — fail the shape check and 404 without touching
+// the recorder.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !obs.IsTraceID(id) {
+		httpError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	if s.recorder == nil {
+		httpError(w, http.StatusNotFound, "flight recorder disabled (-trace-buffer 0)")
+		return
+	}
+	rec, ok := s.recorder.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.Document())
+}
+
+// registerBuildInfo publishes the build identity and process uptime on
+// reg: ssync_build_info{version,go_version} (constant 1, the standard
+// Prometheus info-metric idiom) and ssync_uptime_seconds refreshed at
+// scrape time.
+func registerBuildInfo(reg *obs.Registry, start time.Time) {
+	reg.Gauge("ssync_build_info",
+		"Build identity; constant 1, labelled with the ssyncd version and Go toolchain.",
+		"version", "go_version").With(version, runtime.Version()).Set(1)
+	uptime := reg.Gauge("ssync_uptime_seconds",
+		"Seconds since this process started.")
+	reg.OnScrape(func() { uptime.With().Set(time.Since(start).Seconds()) })
+}
+
+// registerTraceMetrics publishes the ssync_traces_* family from a
+// recorder-stats snapshot taken at scrape time. stats is a closure so
+// the caller may swap its recorder after registration.
+func registerTraceMetrics(reg *obs.Registry, stats func() obs.RecorderStats) {
+	recorded := reg.Counter("ssync_traces_recorded_total",
+		"Completed request traces offered to the flight recorder.")
+	sampled := reg.Counter("ssync_traces_sampled_total",
+		"Traces retained by the flight recorder, by retention class.", "class")
+	evicted := reg.Counter("ssync_traces_evicted_total",
+		"Retained traces evicted to admit newer ones, by retention class.", "class")
+	dropped := reg.Counter("ssync_traces_dropped_total",
+		"Completed traces that fit no retention class and were not kept.")
+	live := reg.Gauge("ssync_traces_live",
+		"Traces currently held by the flight recorder.")
+	reg.OnScrape(func() {
+		st := stats()
+		recorded.With().Set(float64(st.Recorded))
+		dropped.With().Set(float64(st.Dropped))
+		live.With().Set(float64(st.Live))
+		for _, class := range []string{obs.ClassError, obs.ClassSlow, obs.ClassSampled} {
+			sampled.With(class).Set(float64(st.Retained[class]))
+			evicted.With(class).Set(float64(st.Evicted[class]))
+		}
+	})
+}
+
+// edgeInstrument is the router-mode counterpart of server.instrument:
+// it mints (or continues) the trace and request ID before auth and the
+// cluster router run, records the root proxy span, feeds the recorder,
+// and dumps slow traces — so a routed request is flight-recorded at the
+// edge with the router's own spans even before replica spans are
+// stitched in at read time.
+func edgeInstrument(log *slog.Logger, rec *obs.Recorder, slow time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if !acceptRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+
+		var tr *obs.Trace
+		if tid, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			tr = obs.ContinueTrace(tid, parent)
+		} else {
+			tr = obs.NewTrace()
+		}
+		rootID := tr.NewSpanID()
+		tr.SetRoot(rootID)
+		w.Header().Set("X-Trace-ID", tr.ID())
+
+		reqLog := log.With("request_id", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithLogger(ctx, reqLog)
+		ctx = obs.WithTrace(ctx, tr)
+		ctx = obs.WithSpan(ctx, rootID)
+		tag := &principalTag{}
+		ctx = withPrincipalTag(ctx, tag)
+
+		route := routeLabel(r.URL.Path)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		rootAttrs := map[string]string{
+			"method": r.Method, "route": route,
+			"status": strconv.Itoa(sw.status),
+		}
+		if tag.name != "" {
+			rootAttrs["principal"] = tag.name
+		}
+		tr.Record(rootID, tr.RemoteParent(), "http "+route, start, elapsed, rootAttrs)
+		rec.Record(tr, route, tag.name, sw.status, elapsed)
+		dumpSlowTrace(ctx, reqLog, slow, tr, route, elapsed)
+	})
+}

@@ -188,13 +188,24 @@ func GrantFrom(ctx context.Context) (*Grant, bool) {
 // engine calls this on every request, so priority caps hold even for
 // embedders that bypass the HTTP edge.
 func Clamp(ctx context.Context, class sched.Class) sched.Class {
+	out := class
 	if g, ok := GrantFrom(ctx); ok {
-		return sched.Weaker(class, g.Class)
+		out = sched.Weaker(class, g.Class)
+	} else if p, ok := PrincipalFrom(ctx); ok && p.Limits.MaxClass != "" {
+		out = sched.Weaker(class, p.Limits.MaxClass)
 	}
-	if p, ok := PrincipalFrom(ctx); ok && p.Limits.MaxClass != "" {
-		return sched.Weaker(class, p.Limits.MaxClass)
+	if out != class {
+		// A quota clamp changed what the client asked for — record it as a
+		// zero-length trace event so a demoted request's timeline says why
+		// it queued in a slower class.
+		obs.TraceFrom(ctx).Record("", obs.SpanID(ctx), "auth.clamp", time.Now(), 0,
+			map[string]string{
+				"principal": obs.PrincipalName(ctx),
+				"from":      string(class),
+				"to":        string(out),
+			})
 	}
-	return class
+	return out
 }
 
 // ChargeExtra debits n extra admissions from the budget behind ctx's

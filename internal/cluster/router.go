@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,6 +66,13 @@ type Options struct {
 	// Transport overrides the forwarding transport (tests); nil uses
 	// http.DefaultTransport.
 	Transport http.RoundTripper
+	// Recorder, when non-nil, makes the router serve GET /v2/traces
+	// itself: list from its own flight recorder, and single-trace
+	// lookups stitched fleet-wide — the router fans the lookup out to
+	// every replica and merges remote spans (re-based onto its own
+	// origin, tagged with the replica URL) into its span tree. Nil
+	// proxies the trace routes like any other GET.
+	Recorder *obs.Recorder
 }
 
 // Router is the consistent-hash reverse proxy in front of a replica
@@ -75,6 +83,7 @@ type Router struct {
 	client *http.Client
 	log    *slog.Logger
 	keyFn  KeyFunc
+	rec    *obs.Recorder
 
 	healthInterval     time.Duration
 	healthTimeout      time.Duration
@@ -121,6 +130,7 @@ func New(opt Options) (*Router, error) {
 		client:             &http.Client{Transport: opt.Transport},
 		log:                opt.Logger,
 		keyFn:              opt.KeyFn,
+		rec:                opt.Recorder,
 		healthInterval:     opt.HealthInterval,
 		healthTimeout:      opt.HealthTimeout,
 		downAfter:          opt.DownAfter,
@@ -175,12 +185,15 @@ func (r *Router) Close() {
 var clusterRoutes = map[string]bool{
 	"/v1/compile": true, "/v1/batch": true, "/v1/stats": true,
 	"/v2/compile": true, "/v2/batch": true, "/v2/compilers": true,
-	"/v2/passes": true, "/v2/stats": true,
+	"/v2/passes": true, "/v2/stats": true, "/v2/traces": true,
 }
 
 func clusterRouteLabel(path string) string {
 	if clusterRoutes[path] {
 		return path
+	}
+	if strings.HasPrefix(path, "/v2/traces/") {
+		return "/v2/traces/{id}"
 	}
 	return "other"
 }
@@ -209,10 +222,22 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		}
 		http.Error(w, "no metrics registry attached", http.StatusNotFound)
 		return
+	case "/v2/traces":
+		// With a recorder attached the router answers the trace API
+		// itself; without one the routes proxy through like any GET.
+		if r.rec != nil && req.Method == http.MethodGet {
+			r.handleTracesList(w, req)
+			return
+		}
+	}
+	if id, ok := strings.CutPrefix(req.URL.Path, "/v2/traces/"); ok && r.rec != nil && req.Method == http.MethodGet {
+		r.handleTraceGet(w, req, id)
+		return
 	}
 
 	start := time.Now()
 	route := clusterRouteLabel(req.URL.Path)
+	tr := obs.TraceFrom(req.Context())
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.maxBody))
 	if err != nil {
@@ -220,12 +245,17 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	keyStart := time.Now()
 	key := r.affinityKey(req.Method, req.URL.Path, body)
+	tr.Child(obs.SpanID(req.Context()), "cluster.key", keyStart, time.Since(keyStart))
 
 	// The client's correlation ID travels to the replica (and back on the
-	// response the replica writes); mint one here when absent so router
-	// and replica log lines share it.
-	reqID := req.Header.Get("X-Request-ID")
+	// response the replica writes); the trace edge usually minted one
+	// into the context already, so router and replica log lines share it.
+	reqID := obs.RequestID(req.Context())
+	if reqID == "" {
+		reqID = req.Header.Get("X-Request-ID")
+	}
 	if reqID == "" {
 		reqID = obs.NewRequestID()
 	}
@@ -358,10 +388,33 @@ func (r *Router) forward(req *http.Request, body []byte, key Key, reqID string) 
 		}
 	}
 
+	tr := obs.TraceFrom(req.Context())
+	parent := obs.SpanID(req.Context())
 	var lastErr error
 	for i, a := range tries {
 		s := r.shards[a.shard]
-		resp, err := r.tryShard(req, s, body, reqID)
+		// Each forward attempt is one span, minted before the call so the
+		// replica's root span can name it as parent via traceparent —
+		// that link is what stitches the two processes' trees together.
+		fwdStart := time.Now()
+		var fwdID, traceparent string
+		if tr != nil {
+			fwdID = tr.NewSpanID()
+			traceparent = obs.FormatTraceparent(tr.ID(), fwdID)
+		}
+		resp, err := r.tryShard(req, s, body, reqID, traceparent)
+		if tr != nil {
+			attrs := map[string]string{"shard": s.url}
+			if a.reason != "" {
+				attrs["reason"] = a.reason
+			}
+			if err != nil {
+				attrs["error"] = "transport"
+			} else {
+				attrs["status"] = strconv.Itoa(resp.status)
+			}
+			tr.Record(fwdID, parent, "cluster.forward", fwdStart, time.Since(fwdStart), attrs)
+		}
 		if err == nil {
 			reason := a.reason
 			if reason == "" && i > 0 {
@@ -383,7 +436,7 @@ func (r *Router) forward(req *http.Request, body []byte, key Key, reqID string) 
 }
 
 // tryShard forwards one attempt and buffers the complete response.
-func (r *Router) tryShard(req *http.Request, s *shard, body []byte, reqID string) (*bufferedResponse, error) {
+func (r *Router) tryShard(req *http.Request, s *shard, body []byte, reqID, traceparent string) (*bufferedResponse, error) {
 	url := s.url + req.URL.Path
 	if req.URL.RawQuery != "" {
 		url += "?" + req.URL.RawQuery
@@ -397,6 +450,13 @@ func (r *Router) tryShard(req *http.Request, s *shard, body []byte, reqID string
 		out.Header.Del(h)
 	}
 	out.Header.Set("X-Request-ID", reqID)
+	// The replica joins the router's trace under this attempt's forward
+	// span — never under whatever traceparent the client sent; the
+	// router's edge already decided whether to continue that one.
+	out.Header.Del("traceparent")
+	if traceparent != "" {
+		out.Header.Set("traceparent", traceparent)
+	}
 	resp, err := r.client.Do(out)
 	if err != nil {
 		return nil, err

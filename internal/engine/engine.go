@@ -14,6 +14,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -579,10 +580,26 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	}
 	out.Key = key
 	probeStart := time.Now()
-	res, tier, ok := e.results.Get(store.Key(key), func(blob []byte) (*core.Result, error) {
+	probeCtx := ctx
+	var probeID string
+	if tr != nil {
+		// Pre-mint the probe span's ID so the disk tier (GetTraced) can
+		// parent its I/O span under it before the probe span itself is
+		// recorded.
+		probeID = tr.NewSpanID()
+		probeCtx = obs.WithSpan(ctx, probeID)
+	}
+	res, tier, ok := e.results.GetTraced(probeCtx, store.Key(key), func(blob []byte) (*core.Result, error) {
 		return decodeResult(blob, req.Topo)
 	})
-	tr.Add("cache.results", probeStart, time.Since(probeStart))
+	if tr != nil {
+		tierAttr := tier.String()
+		if tierAttr == "" {
+			tierAttr = "miss"
+		}
+		tr.Record(probeID, obs.SpanID(ctx), "cache.results", probeStart, time.Since(probeStart),
+			map[string]string{"tier": tierAttr})
+	}
 	if ok {
 		out.Result, out.CacheHit = res, true
 		out.CacheTier = tier.String()
@@ -613,7 +630,7 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 		// The follower's own span and log line: it waited on an identical
 		// in-flight compilation under its own request ID, it did not run
 		// the leader's passes.
-		tr.Add("coalesce.wait", flightStart, time.Since(flightStart))
+		tr.Child(obs.SpanID(ctx), "coalesce.wait", flightStart, time.Since(flightStart))
 		log.Debug("engine: coalesced onto identical in-flight request",
 			"key", key.String(), "wait_ms", float64(time.Since(flightStart))/float64(time.Millisecond))
 	}
@@ -646,10 +663,36 @@ func (e *Engine) Compile(ctx context.Context, j Job) JobResult {
 // the calling goroutine and holds it until compilation really stops.
 func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText string) (*core.Result, error) {
 	tr := obs.TraceFrom(ctx)
+	if tr != nil {
+		// The compile span encloses admission, stage-cache probes and
+		// every pass; re-pointing the context span at it makes it the
+		// parent those layers record under. The deferred Record captures
+		// the original parent before the re-point.
+		compileStart := time.Now()
+		compileID := tr.NewSpanID()
+		parent := obs.SpanID(ctx)
+		defer func() {
+			tr.Record(compileID, parent, "compile", compileStart, time.Since(compileStart),
+				map[string]string{"class": string(req.Priority)})
+		}()
+		ctx = obs.WithSpan(ctx, compileID)
+	}
 	if e.sched != nil {
 		admitStart := time.Now()
-		release, err := e.sched.Acquire(ctx, req.Priority)
-		tr.Add("admission", admitStart, time.Since(admitStart))
+		admitCtx := ctx
+		var admitID string
+		if tr != nil {
+			// Pre-minted like the cache probe's: the scheduler's queue-wait
+			// span (recorded inside Acquire) parents under the admission
+			// span.
+			admitID = tr.NewSpanID()
+			admitCtx = obs.WithSpan(ctx, admitID)
+		}
+		release, err := e.sched.Acquire(admitCtx, req.Priority)
+		if tr != nil {
+			tr.Record(admitID, obs.SpanID(ctx), "admission", admitStart, time.Since(admitStart),
+				map[string]string{"class": string(req.Priority)})
+		}
 		if err != nil {
 			if sched.Shed(err) {
 				err = fmt.Errorf("engine: request %q: %w", req.Label, err)
@@ -671,18 +714,6 @@ func (e *Engine) compile(ctx context.Context, x exec, req Request, qasmText stri
 	}
 	e.compiled.Add(1)
 	e.recordPasses(executed)
-	// Reconstruct per-pass spans from the recorded timings: the passes
-	// just finished back-to-back, so walking the durations backwards from
-	// now recovers each stage's start to within scheduler noise — without
-	// threading the trace into every compiler's run loop.
-	if tr != nil && len(executed) > 0 {
-		end := time.Now()
-		for i := len(executed) - 1; i >= 0; i-- {
-			t := executed[i]
-			tr.Add("pass:"+t.Pass, end.Add(-t.Duration), t.Duration)
-			end = end.Add(-t.Duration)
-		}
-	}
 	if err != nil && ctx.Err() != nil {
 		err = fmt.Errorf("engine: request %q: %w", req.Label, err)
 	}
@@ -710,8 +741,14 @@ func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText st
 	var st *pass.State
 	tr := obs.TraceFrom(ctx)
 	scanStart := time.Now()
+	scanCtx := ctx
+	var scanID string
+	if tr != nil {
+		scanID = tr.NewSpanID()
+		scanCtx = obs.WithSpan(ctx, scanID)
+	}
 	for i := len(chain) - 1; i >= 0; i-- {
-		snap, _, ok := e.stages.Get(chain[i], pass.DecodeSnapshot)
+		snap, _, ok := e.stages.GetTraced(scanCtx, chain[i], pass.DecodeSnapshot)
 		if !ok {
 			continue
 		}
@@ -725,7 +762,10 @@ func (e *Engine) runStaged(ctx context.Context, x exec, req Request, qasmText st
 			"stages", start, "of", len(x.passes))
 		break
 	}
-	tr.Add("cache.stages", scanStart, time.Since(scanStart))
+	if tr != nil {
+		tr.Record(scanID, obs.SpanID(ctx), "cache.stages", scanStart, time.Since(scanStart),
+			map[string]string{"restored": strconv.Itoa(start)})
+	}
 	if st == nil {
 		st = &pass.State{
 			Source:  req.Circuit,

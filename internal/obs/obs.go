@@ -25,24 +25,29 @@ const (
 	ctxLogger
 	ctxTrace
 	ctxPrincipal
+	ctxSpan
 )
 
 // idFallback distinguishes minted IDs if crypto/rand ever fails (it
 // realistically cannot; the counter keeps IDs unique regardless).
 var idFallback atomic.Uint64
 
-// NewRequestID mints a 16-hex-character request ID. IDs are random, not
-// sequential, so two replicas (or a restart) cannot collide.
-func NewRequestID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		n := idFallback.Add(1)
+// newHexID mints 2n lowercase hex characters of randomness — n=8 for
+// request/span IDs, n=16 for trace IDs.
+func newHexID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		c := idFallback.Add(1)
 		for i := range b {
-			b[i] = byte(n >> (8 * i))
+			b[i] = byte(c >> (8 * (i % 8)))
 		}
 	}
-	return hex.EncodeToString(b[:])
+	return hex.EncodeToString(b)
 }
+
+// NewRequestID mints a 16-hex-character request ID. IDs are random, not
+// sequential, so two replicas (or a restart) cannot collide.
+func NewRequestID() string { return newHexID(8) }
 
 // WithRequestID returns ctx carrying the request ID; RequestID recovers
 // it anywhere downstream (engine, scheduler, passes).

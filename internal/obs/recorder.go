@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Retention classes a recorded trace can land in. Error traces are the
+// most valuable (kept until their own cap evicts the oldest), slow
+// traces next (the slowest-N seen so far), and normal traces are kept
+// as a rotating per-route sample. Anything that fits no class is
+// dropped and counted — the recorder's memory is bounded no matter the
+// request mix.
+const (
+	ClassError   = "error"
+	ClassSlow    = "slow"
+	ClassSampled = "sampled"
+)
+
+// RecorderOptions sizes the flight recorder.
+type RecorderOptions struct {
+	// Capacity bounds the total retained traces across all classes.
+	// Default 512.
+	Capacity int
+	// SlowN is how many slowest traces to retain. Default 32.
+	SlowN int
+	// SampleEvery keeps one of every N normal (non-error, non-slow)
+	// traces per route. Default 16.
+	SampleEvery int
+}
+
+// TraceRecord is one retained request trace with the request metadata
+// the list endpoint filters on.
+type TraceRecord struct {
+	TraceID      string
+	Route        string
+	Principal    string
+	Class        string // retention class, set at admission
+	Status       int
+	Origin       time.Time
+	Duration     time.Duration
+	Spans        []Span
+	SpansDropped int
+}
+
+// TraceSummary is the list-endpoint row for one retained trace.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Route      string    `json:"route"`
+	Principal  string    `json:"principal,omitempty"`
+	Class      string    `json:"class"`
+	Status     int       `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+}
+
+// TraceFilter selects traces from List.
+type TraceFilter struct {
+	Route     string
+	Principal string
+	MinDur    time.Duration
+	Limit     int
+}
+
+// ParseTraceQuery reads a TraceFilter from /v2/traces query parameters
+// (route, principal, min_ms, limit). Unparseable numbers are ignored
+// rather than erroring — the endpoint is a diagnostic surface.
+func ParseTraceQuery(q url.Values) TraceFilter {
+	f := TraceFilter{Route: q.Get("route"), Principal: q.Get("principal")}
+	if v := q.Get("min_ms"); v != "" {
+		if ms, err := strconv.ParseFloat(v, 64); err == nil && ms > 0 {
+			f.MinDur = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			f.Limit = n
+		}
+	}
+	return f
+}
+
+// RecorderStats is the counter snapshot behind the ssync_traces_*
+// metric family.
+type RecorderStats struct {
+	Recorded uint64            // traces offered to the recorder
+	Dropped  uint64            // traces that fit no retention class
+	Retained map[string]uint64 // admissions per class
+	Evicted  map[string]uint64 // evictions per class
+	Live     int               // traces currently held
+}
+
+// Recorder is the always-on flight recorder: a bounded in-memory store
+// of recently interesting traces, tail-sampled at request completion —
+// by then the status and duration are known, so the retention decision
+// (error? slow? routine sample?) is made with full information, unlike
+// head sampling which must guess at arrival.
+type Recorder struct {
+	opt RecorderOptions
+
+	mu       sync.Mutex
+	byID     map[string]*TraceRecord
+	errs     []string          // error-class trace IDs, oldest first
+	slow     []string          // slow-class trace IDs, unordered (linear scan; SlowN is small)
+	sampled  []string          // sampled-class trace IDs, oldest first
+	perRoute map[string]uint64 // normal-trace counter per route, drives sampling
+
+	recorded uint64
+	dropped  uint64
+	retained map[string]uint64
+	evicted  map[string]uint64
+}
+
+// NewRecorder builds a recorder; zero or negative option fields take
+// the documented defaults.
+func NewRecorder(opt RecorderOptions) *Recorder {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 512
+	}
+	if opt.SlowN <= 0 {
+		opt.SlowN = 32
+	}
+	if opt.SlowN > opt.Capacity/2 {
+		opt.SlowN = opt.Capacity / 2
+	}
+	if opt.SampleEvery <= 0 {
+		opt.SampleEvery = 16
+	}
+	return &Recorder{
+		opt:      opt,
+		byID:     make(map[string]*TraceRecord),
+		perRoute: make(map[string]uint64),
+		retained: make(map[string]uint64),
+		evicted:  make(map[string]uint64),
+	}
+}
+
+// errCap bounds the error class to half the total capacity so a flood
+// of failing requests cannot evict every slow/sampled trace.
+func (r *Recorder) errCap() int { return r.opt.Capacity / 2 }
+
+// sampledCap is whatever capacity the error and slow classes don't
+// reserve.
+func (r *Recorder) sampledCap() int {
+	c := r.opt.Capacity - r.errCap() - r.opt.SlowN
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Record offers one completed request's trace for retention. Nil-safe
+// (a disabled recorder) and nil-trace-safe, so call sites need no
+// guards.
+func (r *Recorder) Record(t *Trace, route, principal string, status int, d time.Duration) {
+	if r == nil || t == nil || t.ID() == "" {
+		return
+	}
+	rec := &TraceRecord{
+		TraceID:      t.ID(),
+		Route:        route,
+		Principal:    principal,
+		Status:       status,
+		Origin:       t.Origin(),
+		Duration:     d,
+		Spans:        t.Spans(),
+		SpansDropped: t.Dropped(),
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded++
+
+	// Re-recording the same trace ID (a retried handler) replaces in
+	// place rather than double-indexing.
+	if old, ok := r.byID[rec.TraceID]; ok {
+		rec.Class = old.Class
+		r.byID[rec.TraceID] = rec
+		return
+	}
+
+	switch {
+	case status >= 400:
+		rec.Class = ClassError
+		r.admit(rec, &r.errs, r.errCap())
+	case r.admitSlow(rec):
+		// admitted inside
+	default:
+		r.perRoute[route]++
+		if (r.perRoute[route]-1)%uint64(r.opt.SampleEvery) == 0 {
+			rec.Class = ClassSampled
+			r.admit(rec, &r.sampled, r.sampledCap())
+		} else {
+			r.dropped++
+		}
+	}
+}
+
+// admit appends rec to a FIFO class, evicting the oldest entry over
+// cap. Caller holds r.mu.
+func (r *Recorder) admit(rec *TraceRecord, ids *[]string, limit int) {
+	for len(*ids) >= limit && len(*ids) > 0 {
+		oldest := (*ids)[0]
+		*ids = (*ids)[1:]
+		delete(r.byID, oldest)
+		r.evicted[rec.Class]++
+	}
+	*ids = append(*ids, rec.TraceID)
+	r.byID[rec.TraceID] = rec
+	r.retained[rec.Class]++
+}
+
+// admitSlow retains rec if the slow class has room or rec outlasts the
+// current fastest member (slowest-N semantics). While the class is
+// unfilled every trace qualifies — so a fresh process always retains
+// its first requests, which keeps smoke tests and just-booted fleets
+// inspectable. Caller holds r.mu.
+func (r *Recorder) admitSlow(rec *TraceRecord) bool {
+	if len(r.slow) < r.opt.SlowN {
+		rec.Class = ClassSlow
+		r.slow = append(r.slow, rec.TraceID)
+		r.byID[rec.TraceID] = rec
+		r.retained[ClassSlow]++
+		return true
+	}
+	// Find the fastest retained slow trace.
+	minIdx, minDur := -1, time.Duration(0)
+	for i, id := range r.slow {
+		if t := r.byID[id]; t != nil && (minIdx < 0 || t.Duration < minDur) {
+			minIdx, minDur = i, t.Duration
+		}
+	}
+	if minIdx < 0 || rec.Duration <= minDur {
+		return false
+	}
+	delete(r.byID, r.slow[minIdx])
+	r.evicted[ClassSlow]++
+	rec.Class = ClassSlow
+	r.slow[minIdx] = rec.TraceID
+	r.byID[rec.TraceID] = rec
+	r.retained[ClassSlow]++
+	return true
+}
+
+// Get returns the retained trace with the given ID.
+func (r *Recorder) Get(id string) (TraceRecord, bool) {
+	if r == nil {
+		return TraceRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.byID[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return *rec, true
+}
+
+// List returns summaries of retained traces matching f, newest first.
+func (r *Recorder) List(f TraceFilter) []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]TraceSummary, 0, len(r.byID))
+	for _, rec := range r.byID {
+		if f.Route != "" && rec.Route != f.Route {
+			continue
+		}
+		if f.Principal != "" && rec.Principal != f.Principal {
+			continue
+		}
+		if rec.Duration < f.MinDur {
+			continue
+		}
+		out = append(out, TraceSummary{
+			TraceID:    rec.TraceID,
+			Route:      rec.Route,
+			Principal:  rec.Principal,
+			Class:      rec.Class,
+			Status:     rec.Status,
+			Start:      rec.Origin,
+			DurationMs: float64(rec.Duration) / float64(time.Millisecond),
+			Spans:      len(rec.Spans),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Stats snapshots the recorder's counters.
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RecorderStats{
+		Recorded: r.recorded,
+		Dropped:  r.dropped,
+		Retained: make(map[string]uint64, len(r.retained)),
+		Evicted:  make(map[string]uint64, len(r.evicted)),
+		Live:     len(r.byID),
+	}
+	for k, v := range r.retained {
+		st.Retained[k] = v
+	}
+	for k, v := range r.evicted {
+		st.Evicted[k] = v
+	}
+	return st
+}
+
+// ---- Wire documents ----
+//
+// TraceDoc is the JSON shape /v2/traces/<id> serves. It is also the
+// stitching interchange: the router fetches each replica's TraceDoc,
+// re-bases the remote span offsets onto its own origin, tags them with
+// the replica's Process, and merges them into one tree. Origin is
+// absolute wall time precisely so the re-basing is possible.
+
+// SpanDoc is one span on the wire, times in float milliseconds.
+type SpanDoc struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartMs float64           `json:"start_ms"`
+	DurMs   float64           `json:"dur_ms"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	// Process names the process that recorded the span — "" for the
+	// serving process itself, the replica URL for spans a router
+	// stitched in.
+	Process string `json:"process,omitempty"`
+}
+
+// TraceDoc is one full trace on the wire.
+type TraceDoc struct {
+	TraceID      string    `json:"trace_id"`
+	Origin       time.Time `json:"origin"`
+	Route        string    `json:"route"`
+	Principal    string    `json:"principal,omitempty"`
+	Class        string    `json:"class"`
+	Status       int       `json:"status"`
+	DurationMs   float64   `json:"duration_ms"`
+	SpansDropped int       `json:"spans_dropped,omitempty"`
+	Spans        []SpanDoc `json:"spans"`
+}
+
+// Document renders the record as its wire form.
+func (rec TraceRecord) Document() TraceDoc {
+	doc := TraceDoc{
+		TraceID:      rec.TraceID,
+		Origin:       rec.Origin,
+		Route:        rec.Route,
+		Principal:    rec.Principal,
+		Class:        rec.Class,
+		Status:       rec.Status,
+		DurationMs:   float64(rec.Duration) / float64(time.Millisecond),
+		SpansDropped: rec.SpansDropped,
+		Spans:        make([]SpanDoc, 0, len(rec.Spans)),
+	}
+	for _, s := range rec.Spans {
+		doc.Spans = append(doc.Spans, SpanDoc{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			StartMs: float64(s.Start) / float64(time.Millisecond),
+			DurMs:   float64(s.Dur) / float64(time.Millisecond),
+			Attrs:   s.Attrs,
+		})
+	}
+	return doc
+}
+
+// RenderTree formats a TraceDoc's spans as an indented tree, one span
+// per line — the shape the slow-request warn dump logs. Orphan spans
+// (parent recorded in another process and not stitched in) render at
+// the top level.
+func (doc TraceDoc) RenderTree() string {
+	children := make(map[string][]SpanDoc)
+	ids := make(map[string]bool, len(doc.Spans))
+	for _, s := range doc.Spans {
+		ids[s.ID] = true
+	}
+	var roots []SpanDoc
+	for _, s := range doc.Spans {
+		if s.Parent != "" && ids[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var b strings.Builder
+	var walk func(s SpanDoc, depth int)
+	walk = func(s SpanDoc, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Name)
+		if s.Process != "" {
+			b.WriteString(" @" + s.Process)
+		}
+		b.WriteString(" +" + strconv.FormatFloat(s.StartMs, 'f', 2, 64) + "ms")
+		b.WriteString(" (" + strconv.FormatFloat(s.DurMs, 'f', 2, 64) + "ms)")
+		b.WriteByte('\n')
+		kids := children[s.ID]
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartMs < kids[j].StartMs })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].StartMs < roots[j].StartMs })
+	for _, s := range roots {
+		walk(s, 0)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+// record offers one synthetic trace and returns its ID.
+func record(r *Recorder, route string, status int, d time.Duration) string {
+	tr := NewTrace()
+	root := tr.NewSpanID()
+	tr.SetRoot(root)
+	tr.Record(root, "", "http "+route, tr.Origin(), d, nil)
+	r.Record(tr, route, "alice", status, d)
+	return tr.ID()
+}
+
+func TestRecorderKeepsErrorsAndSlowest(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Capacity: 32, SlowN: 4, SampleEvery: 1000})
+	errID := record(r, "/v2/compile", 429, time.Millisecond)
+	// Fill the slow class, then offer one slower than all of them.
+	for i := 0; i < 4; i++ {
+		record(r, "/v2/compile", 200, 10*time.Millisecond)
+	}
+	slowID := record(r, "/v2/compile", 200, time.Second)
+
+	if rec, ok := r.Get(errID); !ok || rec.Class != ClassError {
+		t.Fatalf("errored trace not retained as error class: %+v ok=%v", rec, ok)
+	}
+	if rec, ok := r.Get(slowID); !ok || rec.Class != ClassSlow {
+		t.Fatalf("slowest trace not retained: %+v ok=%v", rec, ok)
+	}
+	st := r.Stats()
+	if st.Evicted[ClassSlow] == 0 {
+		t.Errorf("expected a slow-class eviction, stats: %+v", st)
+	}
+}
+
+func TestRecorderBoundedUnderErrorFlood(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Capacity: 64, SlowN: 8, SampleEvery: 16})
+	for i := 0; i < 5000; i++ {
+		status := 500
+		if i%3 == 0 {
+			status = 200
+		}
+		record(r, "/v2/compile", status, time.Duration(i%7)*time.Millisecond)
+	}
+	st := r.Stats()
+	if st.Live > 64 {
+		t.Fatalf("recorder grew past capacity: %d live > 64", st.Live)
+	}
+	if st.Recorded != 5000 {
+		t.Errorf("recorded = %d, want 5000", st.Recorded)
+	}
+	if st.Dropped == 0 {
+		t.Error("sustained flood should drop unsampled normal traces")
+	}
+	if st.Evicted[ClassError] == 0 {
+		t.Error("error flood should evict oldest errored traces, not grow")
+	}
+}
+
+func TestRecorderRotatingSample(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Capacity: 64, SlowN: 1, SampleEvery: 10})
+	// One trace fills the slow class; from then on normal traces only
+	// survive via the 1-in-10 route sample.
+	record(r, "/v2/compile", 200, time.Hour)
+	var kept int
+	for i := 0; i < 100; i++ {
+		id := record(r, "/v2/compile", 200, time.Millisecond)
+		if _, ok := r.Get(id); ok {
+			kept++
+		}
+	}
+	if kept != 10 {
+		t.Errorf("kept %d of 100 normal traces, want 10 (SampleEvery=10)", kept)
+	}
+}
+
+func TestRecorderListFilters(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Capacity: 32, SlowN: 8, SampleEvery: 1})
+	record(r, "/v2/compile", 200, 5*time.Millisecond)
+	record(r, "/v2/batch", 200, 50*time.Millisecond)
+	record(r, "/v2/compile", 500, 100*time.Millisecond)
+
+	if got := len(r.List(TraceFilter{})); got != 3 {
+		t.Fatalf("unfiltered list = %d, want 3", got)
+	}
+	if got := len(r.List(TraceFilter{Route: "/v2/batch"})); got != 1 {
+		t.Errorf("route filter = %d, want 1", got)
+	}
+	if got := len(r.List(TraceFilter{MinDur: 40 * time.Millisecond})); got != 2 {
+		t.Errorf("min-duration filter = %d, want 2", got)
+	}
+	if got := len(r.List(TraceFilter{Limit: 1})); got != 1 {
+		t.Errorf("limit = %d, want 1", got)
+	}
+	if got := len(r.List(TraceFilter{Principal: "nobody"})); got != 0 {
+		t.Errorf("principal filter = %d, want 0", got)
+	}
+}
+
+func TestParseTraceQuery(t *testing.T) {
+	q := url.Values{"route": {"/v2/compile"}, "min_ms": {"2.5"}, "limit": {"7"}, "principal": {"alice"}}
+	f := ParseTraceQuery(q)
+	if f.Route != "/v2/compile" || f.Principal != "alice" || f.Limit != 7 {
+		t.Fatalf("parsed filter = %+v", f)
+	}
+	if f.MinDur != 2500*time.Microsecond {
+		t.Fatalf("MinDur = %v, want 2.5ms", f.MinDur)
+	}
+	// Hostile values degrade to no filter, never an error.
+	f = ParseTraceQuery(url.Values{"min_ms": {"NaN-ish"}, "limit": {"-3"}})
+	if f.MinDur != 0 || f.Limit != 0 {
+		t.Fatalf("hostile query should parse to zero filter, got %+v", f)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(NewTrace(), "/x", "", 200, time.Millisecond)
+	if _, ok := r.Get("abc"); ok {
+		t.Fatal("nil recorder Get should miss")
+	}
+	if r.List(TraceFilter{}) != nil {
+		t.Fatal("nil recorder List should be empty")
+	}
+	if st := r.Stats(); st.Recorded != 0 {
+		t.Fatal("nil recorder stats should be zero")
+	}
+}

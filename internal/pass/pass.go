@@ -288,6 +288,8 @@ func RunFrom(ctx context.Context, passes []Pass, st *State, start int, after fun
 	// them; the debug guard keeps the un-instrumented path free.
 	log := obs.Logger(ctx)
 	debug := log.Enabled(ctx, slog.LevelDebug)
+	tr := obs.TraceFrom(ctx)
+	parent := obs.SpanID(ctx)
 	wall := time.Now()
 	for i := start; i < len(passes); i++ {
 		p := passes[i]
@@ -305,6 +307,7 @@ func RunFrom(ctx context.Context, passes []Pass, st *State, start int, after fun
 			GateDelta: st.gateCount() - before,
 		}
 		st.Timings = append(st.Timings, t)
+		tr.Child(parent, "pass:"+t.Pass, passStart, t.Duration)
 		if debug {
 			log.Debug("pass done", "pass", t.Pass, "stage", i,
 				"dur_ms", float64(t.Duration)/float64(time.Millisecond),

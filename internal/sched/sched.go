@@ -314,6 +314,9 @@ func (s *Scheduler) Acquire(ctx context.Context, class Class) (release func(), e
 		if s.hooks != nil {
 			s.hooks.QueueWait(string(Classes[idx]), time.Since(w.enqueued))
 		}
+		obs.TraceFrom(ctx).Record("", obs.SpanID(ctx), "sched.queue",
+			w.enqueued, time.Since(w.enqueued),
+			map[string]string{"class": string(Classes[idx])})
 		return s.releaseFunc(principal), nil
 	case <-ctx.Done():
 		s.mu.Lock()

@@ -1,6 +1,12 @@
 package store
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ssync/internal/obs"
+)
 
 // TieredStats is a point-in-time snapshot of one tiered store, taken
 // under a single lock so the per-tier counters are mutually consistent
@@ -103,6 +109,33 @@ func (t *Tiered[V]) Get(key Key, decode func([]byte) (V, error)) (V, Tier, bool)
 	t.misses++
 	t.mu.Unlock()
 	return zero, TierNone, false
+}
+
+// GetTraced is Get plus a trace span for the disk tier: when the
+// request is traced and the lookup actually left the memory front (a
+// disk hit, or a miss with a disk tier attached), a "store.disk" span
+// is recorded under the current context span so tiered-cache latency —
+// the one cache cost that involves real I/O — shows up in the request
+// timeline. Untraced requests take the plain Get path unchanged.
+func (t *Tiered[V]) GetTraced(ctx context.Context, key Key, decode func([]byte) (V, error)) (V, Tier, bool) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return t.Get(key, decode)
+	}
+	start := time.Now()
+	v, tier, ok := t.Get(key, decode)
+	if tier != TierMemory && t.disk != nil && decode != nil {
+		tr.Record("", obs.SpanID(ctx), "store.disk", start, time.Since(start),
+			map[string]string{"hit": boolStr(tier == TierDisk)})
+	}
+	return v, tier, ok
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
 }
 
 // Put stores the value under key in the memory front and, when a disk

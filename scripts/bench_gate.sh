@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench_gate.sh [baseline.json candidate.json] — fail the build when the
+# candidate benchmark document regresses more than 15% against the
+# baseline (sub-millisecond entries warn only; see cmd/bench).
+#
+# With no arguments the two highest-numbered BENCH_<pr>.json files in
+# the repository root are compared, oldest as baseline. Run from the
+# repository root.
+set -eu
+
+if [ $# -eq 2 ]; then
+    old=$1
+    new=$2
+else
+    # Numeric sort on the <pr> component, newest last.
+    set -- $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+    if [ $# -lt 2 ]; then
+        echo "bench gate: need two BENCH_<pr>.json documents, found $#; skipping" >&2
+        exit 0
+    fi
+    while [ $# -gt 2 ]; do shift; done
+    old=$1
+    new=$2
+fi
+
+exec go run ./cmd/bench -gate-old "$old" -gate-new "$new" "${BENCH_GATE_FLAGS:--gate-threshold=15}"

@@ -703,16 +703,50 @@ func QuotaRetryAfter(err error) (time.Duration, bool) { return auth.RetryAfter(e
 
 // TraceSpan is one per-request trace event (queue wait, admission, a
 // pass execution, a cache probe): a name plus its start offset and
-// duration relative to the trace origin.
+// duration relative to the trace origin, with span/parent IDs placing
+// it in the request's span tree.
 type TraceSpan = obs.Span
 
-// RequestTrace collects TraceSpans for one request. Attach one to a
-// context with WithTrace and the engine records span events into it;
-// Engine responses surface the collected spans in Response.Trace.
+// RequestTrace collects TraceSpans for one request under a shared
+// 32-hex trace ID. Attach one to a context with WithTrace and the
+// engine records span events into it; Engine responses surface the
+// collected spans in Response.Trace.
 type RequestTrace = obs.Trace
 
-// NewTrace starts an empty trace originating now.
+// TraceRecorder is the bounded in-memory flight recorder behind
+// ssyncd's GET /v2/traces: completed traces are tail-sampled into
+// error / slowest-N / per-route-sample retention classes.
+type TraceRecorder = obs.Recorder
+
+// TraceRecorderOptions sizes a TraceRecorder.
+type TraceRecorderOptions = obs.RecorderOptions
+
+// NewTraceRecorder builds a flight recorder; zero options take the
+// defaults (512 traces, slowest 32, 1-in-16 per-route sampling).
+func NewTraceRecorder(opt TraceRecorderOptions) *TraceRecorder { return obs.NewRecorder(opt) }
+
+// NewTrace starts an empty trace originating now, under a fresh
+// trace ID.
 func NewTrace() *RequestTrace { return obs.NewTrace() }
+
+// ContinueTrace starts a local trace segment that joins a caller's
+// distributed trace (the trace and parent span IDs from a validated
+// W3C traceparent header, e.g. via ParseTraceparent).
+func ContinueTrace(traceID, parentSpanID string) *RequestTrace {
+	return obs.ContinueTrace(traceID, parentSpanID)
+}
+
+// FormatTraceparent renders the version-00 W3C traceparent header for
+// one outbound hop.
+func FormatTraceparent(traceID, spanID string) string {
+	return obs.FormatTraceparent(traceID, spanID)
+}
+
+// ParseTraceparent validates and splits an inbound W3C traceparent
+// header; ok is false for anything but a well-formed version-00 value.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	return obs.ParseTraceparent(h)
+}
 
 // WithTrace returns ctx carrying tr; the engine records span events
 // into the carried trace.
