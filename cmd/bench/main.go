@@ -1,13 +1,15 @@
 // Command bench runs the repo's service-level benchmarks —
 // BenchmarkBatchCompile and BenchmarkStagePrefixReuse in the root
-// package, BenchmarkSchedulerMixedLoad in internal/engine — and
-// records the results plus directly measured cache hit rates as one
-// JSON document (BENCH_<pr>.json), the recorded baseline later PRs
-// diff their numbers against.
+// package, BenchmarkSchedulerMixedLoad and
+// BenchmarkPortfolioVerifyShared in internal/engine, the state-vector
+// apply and verify benchmarks in internal/sim — and records the
+// results plus directly measured cache hit rates as one JSON document
+// (BENCH_<pr>.json), the recorded baseline later PRs diff their
+// numbers against.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-pr 9] [-out BENCH_9.json] [-benchtime 1x]
+//	go run ./cmd/bench [-pr 10] [-out BENCH_10.json] [-benchtime 1x]
 //
 // The harness shells out to `go test -bench` (so the numbers are the
 // same ones a developer sees) and parses the standard benchmark output
@@ -35,6 +37,11 @@ import (
 	"strings"
 
 	ssync "ssync"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/engine"
+	"ssync/internal/sim"
+	"ssync/internal/workloads"
 )
 
 // benchResult is one parsed `go test -bench` result line.
@@ -92,6 +99,26 @@ type authOverhead struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// simVerify summarises what the shared-reference cache buys a verifying
+// portfolio. The timing halves come from the parsed
+// BenchmarkVerifyScheduleParallel sub-results (one 18-qubit schedule
+// verified with a fresh reference simulation vs replay against a cached
+// one); the hit/miss counters are measured directly by pushing a
+// 4-entrant portfolio's schedules through one RefCache — the same
+// counters ssyncd exports as ssync_sim_ref_cache_{hits,misses}_total.
+type simVerify struct {
+	FreshNsPerOp  float64 `json:"fresh_ns_per_op"`
+	SharedNsPerOp float64 `json:"shared_ns_per_op"`
+	// SpeedupX is fresh/shared — how much cheaper one verify call gets
+	// once the reference is cached.
+	SpeedupX float64 `json:"speedup_x"`
+	// RefCacheHits / RefCacheMisses after verifying 4 portfolio
+	// entrants' schedules of one source circuit: 1 miss (the single
+	// reference simulation) and 3 hits.
+	RefCacheHits   uint64 `json:"ref_cache_hits"`
+	RefCacheMisses uint64 `json:"ref_cache_misses"`
+}
+
 type document struct {
 	PR        int             `json:"pr"`
 	GoVersion string          `json:"go_version"`
@@ -103,6 +130,7 @@ type document struct {
 	Cache     cacheRates      `json:"cache"`
 	Router    *routerOverhead `json:"router,omitempty"`
 	Auth      *authOverhead   `json:"auth,omitempty"`
+	Sim       *simVerify      `json:"sim,omitempty"`
 }
 
 // resultLineRe matches a standard benchmark result line:
@@ -267,6 +295,42 @@ func authSection(results []benchResult) *authOverhead {
 	}
 }
 
+// simSection derives the shared-reference verify summary: the timing
+// halves from the parsed BenchmarkVerifyScheduleParallel sub-results
+// (nil if either is missing), the hit/miss counters measured directly
+// by verifying a 4-entrant portfolio's schedules of one circuit
+// through a fresh RefCache.
+func simSection(results []benchResult) (*simVerify, error) {
+	var fresh, shared float64
+	for _, r := range results {
+		switch {
+		case strings.Contains(r.Name, "BenchmarkVerifyScheduleParallel/fresh"):
+			fresh = r.NsPerOp
+		case strings.Contains(r.Name, "BenchmarkVerifyScheduleParallel/shared"):
+			shared = r.NsPerOp
+		}
+	}
+	if fresh == 0 || shared == 0 {
+		return nil, nil
+	}
+	sv := &simVerify{FreshNsPerOp: fresh, SharedNsPerOp: shared, SpeedupX: fresh / shared}
+	topo := device.Grid(2, 2, 6)
+	src := workloads.QFT(10)
+	cache := sim.NewRefCache(0)
+	for _, v := range engine.DefaultPortfolio()[:4] {
+		res, err := core.Compile(*v.Config, src, topo)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio %s: %w", v.Name, err)
+		}
+		if err := cache.Verify(src, res.Schedule, 42); err != nil {
+			return nil, fmt.Errorf("portfolio %s verify: %w", v.Name, err)
+		}
+	}
+	st := cache.Stats()
+	sv.RefCacheHits, sv.RefCacheMisses = st.Hits, st.Misses
+	return sv, nil
+}
+
 // findBaseline locates the previous PR's document: the BENCH_<k>.json
 // with the largest k below pr.
 func findBaseline(pr int) (string, bool) {
@@ -379,7 +443,7 @@ func runGate(oldPath, newPath string, threshold float64) int {
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 9, "PR number stamped into the document (and the default output name)")
+		pr        = flag.Int("pr", 10, "PR number stamped into the document (and the default output name)")
 		out       = flag.String("out", "", "output path (default BENCH_<pr>.json)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
 		count     = flag.Int("count", 5, "go test -count repetitions; the recorded timing is the median")
@@ -416,7 +480,8 @@ func main() {
 
 	for _, spec := range []struct{ pkg, pattern string }{
 		{".", "^(BenchmarkBatchCompile|BenchmarkStagePrefixReuse)$"},
-		{"./internal/engine", "^BenchmarkSchedulerMixedLoad$"},
+		{"./internal/engine", "^(BenchmarkSchedulerMixedLoad|BenchmarkPortfolioVerifyShared)$"},
+		{"./internal/sim", "^(BenchmarkStateVecApply|BenchmarkVerifyScheduleParallel)$"},
 		{"./cmd/ssyncd", "^(BenchmarkRouterOverhead|BenchmarkAuthOverhead)$"},
 	} {
 		fmt.Fprintf(os.Stderr, "bench: running %s in %s\n", spec.pattern, spec.pkg)
@@ -437,6 +502,12 @@ func main() {
 	doc.Cache = rates
 	doc.Router = routerSection(doc.Results)
 	doc.Auth = authSection(doc.Results)
+	fmt.Fprintln(os.Stderr, "bench: measuring shared-reference verify counters")
+	doc.Sim, err = simSection(doc.Results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -455,6 +526,11 @@ func main() {
 	if doc.Auth != nil {
 		fmt.Printf("bench: auth overhead on cache hits: %.0f ns open, %.0f ns authenticated (%+.1f%%)\n",
 			doc.Auth.OpenNsPerOp, doc.Auth.AuthenticatedNsPerOp, doc.Auth.OverheadPct)
+	}
+	if doc.Sim != nil {
+		fmt.Printf("bench: verify with shared reference: %.0f ns fresh, %.0f ns shared (%.2fx); 4-entrant portfolio: %d ref-cache hits, %d misses\n",
+			doc.Sim.FreshNsPerOp, doc.Sim.SharedNsPerOp, doc.Sim.SpeedupX,
+			doc.Sim.RefCacheHits, doc.Sim.RefCacheMisses)
 	}
 	if *baseline != "none" {
 		bp := *baseline

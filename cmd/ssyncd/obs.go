@@ -217,6 +217,10 @@ type snapshotMetrics struct {
 	princAdmitted, princShed, princInflight *obs.Metric
 
 	passRuns, passHits, passSeconds *obs.Metric
+
+	simApplies, simWorkers     *obs.Metric
+	simRefHits, simRefMisses   *obs.Metric
+	simRefEntries, simRefBytes *obs.Metric
 }
 
 func newSnapshotMetrics(reg *obs.Registry) *snapshotMetrics {
@@ -280,6 +284,19 @@ func newSnapshotMetrics(reg *obs.Registry) *snapshotMetrics {
 			"Pipeline stages skipped via a restored cached prefix, by pass name.", "pass"),
 		passSeconds: reg.Counter("ssync_pass_seconds_total",
 			"Cumulative wall time of executed pipeline stages, by pass name.", "pass"),
+
+		simApplies: reg.Counter("ssync_sim_applies_total",
+			"State-vector gate applications, by execution mode (parallel/serial).", "mode"),
+		simWorkers: reg.Gauge("ssync_sim_workers",
+			"Resolved process-default simulator worker budget (-sim-workers)."),
+		simRefHits: reg.Counter("ssync_sim_ref_cache_hits_total",
+			"Verify calls served by an already-simulated shared reference state."),
+		simRefMisses: reg.Counter("ssync_sim_ref_cache_misses_total",
+			"Verify calls that had to simulate their reference state."),
+		simRefEntries: reg.Gauge("ssync_sim_ref_cache_entries",
+			"Reference states currently cached for shared verification."),
+		simRefBytes: reg.Gauge("ssync_sim_ref_cache_bytes",
+			"Amplitude bytes held by the shared verification-reference cache."),
 	}
 }
 
@@ -329,6 +346,14 @@ func (m *snapshotMetrics) update(st engine.Stats) {
 		m.passHits.With(name).Set(float64(ps.CacheHits))
 		m.passSeconds.With(name).Set(ps.Total.Seconds())
 	}
+
+	m.simApplies.With("parallel").Set(float64(st.Sim.ParallelApplies))
+	m.simApplies.With("serial").Set(float64(st.Sim.SerialApplies))
+	m.simWorkers.With().Set(float64(st.Sim.Workers))
+	m.simRefHits.With().Set(float64(st.Sim.RefCache.Hits))
+	m.simRefMisses.With().Set(float64(st.Sim.RefCache.Misses))
+	m.simRefEntries.With().Set(float64(st.Sim.RefCache.Entries))
+	m.simRefBytes.With().Set(float64(st.Sim.RefCache.Bytes))
 }
 
 func (m *snapshotMetrics) updateStore(cache string, st store.TieredStats) {

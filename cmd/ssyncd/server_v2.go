@@ -14,6 +14,7 @@ import (
 	"ssync/internal/obs"
 	"ssync/internal/pass"
 	"ssync/internal/sched"
+	"ssync/internal/sim"
 	"ssync/internal/store"
 )
 
@@ -314,6 +315,11 @@ type statsResponseV2 struct {
 	// Auth is the access-control snapshot — key-set generation and
 	// per-principal quota budgets; omitted on open services.
 	Auth *authStatsV2 `json:"auth,omitempty"`
+	// Sim is the state-vector simulator's snapshot: gate applications by
+	// execution mode, the resolved -sim-workers budget, and the shared
+	// verification-reference cache (hits mean a verify reused a
+	// previously simulated reference instead of re-simulating it).
+	Sim *sim.Stats `json:"sim,omitempty"`
 }
 
 // authStatsV2 is the access-control section of /v2/stats.
@@ -715,5 +721,7 @@ func (s *server) statsV2() statsResponseV2 {
 			}
 		}
 	}
+	simStats := st.Sim
+	resp.Sim = &simStats
 	return resp
 }

@@ -82,8 +82,13 @@ func (m move) unapply(p *device.Placement) error {
 // blocked frontier gates, space-shift steps readying receiving ends, and
 // eviction shuttles out of full traps on the route.
 func (c *compilation) candidates(blocked []int) []move {
-	seen := make(map[[5]int]bool)
-	var out []move
+	if c.candSeen == nil {
+		c.candSeen = make(map[[5]int]bool, 64)
+	} else {
+		clear(c.candSeen)
+	}
+	seen := c.candSeen
+	out := c.candBuf[:0]
 	add := func(m move) {
 		k := m.key()
 		if !seen[k] {
@@ -162,28 +167,32 @@ func (c *compilation) candidates(blocked []int) []move {
 			}
 		}
 	}
+	c.candBuf = out
 	return out
 }
 
 // blockedGatePairs returns the qubit pairs of blocked gates used for
-// scoring, capped at MaxBlockedGates.
+// scoring, capped at MaxBlockedGates. The slice is per-compilation
+// scratch, valid until the next call.
 func (c *compilation) blockedGatePairs(blocked []int) [][2]int {
 	limit := len(blocked)
 	if c.cfg.MaxBlockedGates > 0 && limit > c.cfg.MaxBlockedGates {
 		limit = c.cfg.MaxBlockedGates
 	}
-	pairs := make([][2]int, 0, limit)
+	pairs := c.pairsBuf[:0]
 	for _, gid := range blocked[:limit] {
 		g := c.dag.Gate(gid)
 		pairs = append(pairs, [2]int{g.Qubits[0], g.Qubits[1]})
 	}
+	c.pairsBuf = pairs
 	return pairs
 }
 
 // movedQubits returns the logical qubits a move touches, for decay
-// bookkeeping.
+// bookkeeping. The slice is per-compilation scratch, valid until the next
+// call.
 func (c *compilation) movedQubits(m move) []int {
-	var qs []int
+	qs := c.movedBuf[:0]
 	switch m.kind {
 	case moveSwap, moveShift:
 		for _, s := range [2]int{m.i, m.j} {

@@ -59,6 +59,18 @@ type compilation struct {
 	heat      []float64 // per-trap transport quanta (HeatAware policy)
 	lastMove  move
 	haveLast  bool
+
+	// Per-iteration scratch, reused across the search loop so the hot
+	// path stops allocating candidate/frontier/lookahead buffers every
+	// iteration. Each is reset (not reallocated) where it is filled.
+	candSeen    map[[5]int]bool
+	candBuf     []move
+	pairsBuf    [][2]int
+	decaysBuf   []float64
+	futureBuf   [][2]int
+	inFrontier  map[[2]int]bool
+	frontierBuf []int
+	movedBuf    [2]int
 }
 
 // Compile schedules circuit c onto topo with the configured initial
@@ -192,7 +204,10 @@ func (c *compilation) executeReady() bool {
 	ran := false
 	for {
 		progress := false
-		frontier := append([]int(nil), c.dag.Frontier()...)
+		// Copy the frontier (Complete mutates it mid-iteration) into
+		// reusable scratch.
+		c.frontierBuf = append(c.frontierBuf[:0], c.dag.Frontier()...)
+		frontier := c.frontierBuf
 		for _, id := range frontier {
 			g := c.dag.Gate(id)
 			if !c.em.Executable(g) {
@@ -223,7 +238,10 @@ func (c *compilation) step(blocked []int) (bool, error) {
 		return false, nil
 	}
 	pairs := c.blockedGatePairs(blocked)
-	decays := make([]float64, len(pairs))
+	if cap(c.decaysBuf) < len(pairs) {
+		c.decaysBuf = make([]float64, len(pairs))
+	}
+	decays := c.decaysBuf[:len(pairs)]
 	for i, gid := range blocked[:len(pairs)] {
 		decays[i] = c.decay(c.dag.Gate(gid))
 	}
@@ -236,15 +254,19 @@ func (c *compilation) step(blocked []int) (bool, error) {
 	}
 	// Near-future two-qubit gates (beyond the frontier) provide the
 	// tie-breaking lookahead term of H.
-	var future [][2]int
+	future := c.futureBuf[:0]
 	if c.cfg.LookaheadGates > 0 {
-		inFrontier := make(map[[2]int]bool, len(pairs))
+		if c.inFrontier == nil {
+			c.inFrontier = make(map[[2]int]bool, len(pairs))
+		} else {
+			clear(c.inFrontier)
+		}
 		for _, pr := range pairs {
-			inFrontier[pr] = true
+			c.inFrontier[pr] = true
 		}
 		for _, g := range c.dag.Lookahead(c.cfg.LookaheadGates + len(pairs)) {
 			pr := [2]int{g.Qubits[0], g.Qubits[1]}
-			if inFrontier[pr] {
+			if c.inFrontier[pr] {
 				continue
 			}
 			future = append(future, pr)
@@ -253,18 +275,8 @@ func (c *compilation) step(blocked []int) (bool, error) {
 			}
 		}
 	}
-
-	lookaheadOf := func() float64 {
-		if len(future) == 0 {
-			return 0
-		}
-		sum := 0.0
-		for _, pr := range future {
-			sum += c.heur.dis(pr[0], pr[1])
-		}
-		return c.cfg.LookaheadWeight * sum / float64(len(future))
-	}
-	combinedBefore := rawBefore + lookaheadOf()
+	c.futureBuf = future
+	combinedBefore := rawBefore + c.lookaheadTerm(future)
 
 	bestIdx := -1
 	bestH, bestPost := 0.0, 0.0
@@ -287,7 +299,7 @@ func (c *compilation) step(blocked []int) (bool, error) {
 				minScore = s
 			}
 		}
-		lookahead := lookaheadOf()
+		lookahead := c.lookaheadTerm(future)
 		if err := m.unapply(c.place); err != nil {
 			return false, fmt.Errorf("core: candidate unapply: %w", err)
 		}
@@ -318,6 +330,20 @@ func (c *compilation) step(blocked []int) (bool, error) {
 	}
 	c.lastMove, c.haveLast = best, true
 	return true, nil
+}
+
+// lookaheadTerm evaluates the near-future tie-breaking term of H over the
+// current placement (a method, not a closure, so the per-step capture
+// allocation is gone from the search loop).
+func (c *compilation) lookaheadTerm(future [][2]int) float64 {
+	if len(future) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, pr := range future {
+		sum += c.heur.dis(pr[0], pr[1])
+	}
+	return c.cfg.LookaheadWeight * sum / float64(len(future))
 }
 
 // decay implements Eq. 1's penalty: 1+δ when either gate qubit rode a

@@ -138,6 +138,12 @@ func (t *Topology) SegmentsAt(tr int) []int { return t.adj[tr] }
 // TrapDistance returns the shuttle-weight distance between two traps.
 func (t *Topology) TrapDistance(a, b int) float64 { return t.dist[a][b] }
 
+// TrapDistanceRow returns trap a's full distance row (indexed by trap id).
+// The slice is the topology's own storage — read-only for callers; inner
+// loops that price many destinations against one source hoist it once
+// instead of re-indexing the matrix per lookup.
+func (t *Topology) TrapDistanceRow(a int) []float64 { return t.dist[a] }
+
 // NextSegment returns the first segment on a shortest path from trap a
 // toward trap b, or -1 when a == b.
 func (t *Topology) NextSegment(a, b int) int {

@@ -27,6 +27,7 @@ import (
 	"ssync/internal/obs"
 	"ssync/internal/pass"
 	"ssync/internal/qasm"
+	"ssync/internal/sim"
 	"ssync/internal/sched"
 	"ssync/internal/store"
 )
@@ -239,6 +240,10 @@ type Stats struct {
 	// in the same Stats call as every other section; nil on unbounded
 	// engines (Options.Workers <= 0), which have no scheduler.
 	Sched *sched.Stats
+	// Sim is the state-vector simulator's process-wide snapshot: gate
+	// applications by execution mode and the shared verification-
+	// reference cache behind verify-statevec.
+	Sim sim.Stats
 }
 
 // PassStats aggregates one pass's executions engine-wide.
@@ -449,6 +454,7 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.passMu.Unlock()
+	s.Sim = sim.Snapshot()
 	return s
 }
 

@@ -3,6 +3,8 @@ package mapping
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"ssync/internal/circuit"
 	"ssync/internal/device"
@@ -30,6 +32,43 @@ func DefaultAnnealConfig() AnnealConfig {
 	return AnnealConfig{Iterations: 20000, StartTemp: 2.0, EndTemp: 0.01, Seed: 1, Lookahead: 8}
 }
 
+// annealEdge is one discounted interaction between a qubit pair.
+type annealEdge struct {
+	a, b int
+	w    float64
+}
+
+// annealScratch is the annealer's per-call working set, pooled so repeat
+// compilations (portfolio entrants, cache-miss bursts) stop allocating
+// edge/incident/layer buffers per call. incOff/incIdx hold the per-qubit
+// incident-edge lists in CSR form: edges of qubit q are
+// incIdx[incOff[q]:incOff[q+1]], filled in edge order so cost sums visit
+// edges in the same order (and with the same float rounding) as the old
+// per-qubit append lists.
+type annealScratch struct {
+	layer  []int
+	wsum   map[[2]int]float64
+	edges  []annealEdge
+	incOff []int32
+	incIdx []int32
+	fill   []int32
+	count  []int
+}
+
+var annealPool = sync.Pool{New: func() any {
+	return &annealScratch{wsum: make(map[[2]int]float64)}
+}}
+
+// grow returns buf resized to n (reusing its array when large enough).
+func grow[T int | int32](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // AnnealAssignment computes a first-level trap assignment by simulated
 // annealing, starting from the packed (gathering) assignment. The returned
 // slice maps qubit → trap and respects per-trap capacities with one
@@ -46,14 +85,14 @@ func AnnealAssignment(cfg AnnealConfig, c *circuit.Circuit, topo *device.Topolog
 		cfg.Lookahead = 8
 	}
 
+	sc := annealPool.Get().(*annealScratch)
+	defer annealPool.Put(sc)
+
 	// Discounted interaction weights per qubit pair.
-	type edge struct {
-		a, b int
-		w    float64
-	}
-	var edges []edge
-	wsum := map[[2]int]float64{}
-	layer := make([]int, c.NumQubits)
+	sc.layer = grow(sc.layer, c.NumQubits)
+	layer := sc.layer
+	clear(sc.wsum)
+	wsum := sc.wsum
 	for _, g := range c.Gates {
 		if g.Name == "barrier" {
 			continue
@@ -76,38 +115,57 @@ func AnnealAssignment(cfg AnnealConfig, c *circuit.Circuit, topo *device.Topolog
 		}
 		wsum[[2]int{a, b}] += math.Exp2(-float64(max) / float64(cfg.Lookahead))
 	}
+	edges := sc.edges[:0]
 	for k, w := range wsum {
-		edges = append(edges, edge{k[0], k[1], w})
+		edges = append(edges, annealEdge{k[0], k[1], w})
 	}
-	// Deterministic edge order for reproducibility (map iteration is not).
-	for i := 1; i < len(edges); i++ {
-		for j := i; j > 0 && (edges[j].a < edges[j-1].a ||
-			(edges[j].a == edges[j-1].a && edges[j].b < edges[j-1].b)); j-- {
-			edges[j], edges[j-1] = edges[j-1], edges[j]
-		}
-	}
+	sc.edges = edges
+	// Deterministic edge order for reproducibility (map iteration is not);
+	// pair keys are unique, so the order is total and seed-stable.
+	sort.Slice(edges, func(i, j int) bool {
+		return edges[i].a < edges[j].a ||
+			(edges[i].a == edges[j].a && edges[i].b < edges[j].b)
+	})
 
-	trapOf := append([]int(nil), start...)
-	count := make([]int, topo.NumTraps())
+	// The packed start is freshly built above; anneal it in place.
+	trapOf := start
+	sc.count = grow(sc.count, topo.NumTraps())
+	count := sc.count
 	for _, tr := range trapOf {
 		count[tr]++
 	}
-	// Per-qubit incident edges for incremental cost deltas.
-	incident := make([][]int, c.NumQubits)
+	// Per-qubit incident edges (CSR) for incremental cost deltas.
+	sc.incOff = grow(sc.incOff, c.NumQubits+1)
+	incOff := sc.incOff
+	for _, e := range edges {
+		incOff[e.a+1]++
+		incOff[e.b+1]++
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		incOff[q+1] += incOff[q]
+	}
+	sc.incIdx = grow(sc.incIdx, 2*len(edges))
+	incIdx := sc.incIdx
+	sc.fill = grow(sc.fill, c.NumQubits)
+	fill := sc.fill
+	copy(fill, incOff[:c.NumQubits])
 	for ei, e := range edges {
-		incident[e.a] = append(incident[e.a], ei)
-		incident[e.b] = append(incident[e.b], ei)
+		incIdx[fill[e.a]] = int32(ei)
+		fill[e.a]++
+		incIdx[fill[e.b]] = int32(ei)
+		fill[e.b]++
 	}
 	costOf := func(q, tr int) float64 {
 		sum := 0.0
-		for _, ei := range incident[q] {
+		row := topo.TrapDistanceRow(tr)
+		for _, ei := range incIdx[incOff[q]:incOff[q+1]] {
 			e := edges[ei]
 			other := e.a + e.b - q
 			ot := trapOf[other]
 			if other == q {
 				continue
 			}
-			sum += e.w * topo.TrapDistance(tr, ot)
+			sum += e.w * row[ot]
 		}
 		return sum
 	}

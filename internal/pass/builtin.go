@@ -237,7 +237,11 @@ func (p verifyStatevecPass) Run(ctx context.Context, st *State) error {
 	if st.Result == nil {
 		return fmt.Errorf("%s needs a compiled schedule; add a routing pass first", VerifyStatevec)
 	}
-	return sim.VerifySchedule(st.Source, st.Result.Schedule, p.Seed)
+	// Shared-reference verify: the reference simulation depends only on
+	// (source circuit, seed), so portfolio entrants, route variants and
+	// coalesced pipelines resolve it from the process-wide cache and pay
+	// only for replaying their own schedule.
+	return sim.SharedRefs.Verify(st.Source, st.Result.Schedule, p.Seed)
 }
 
 // ---- canned pipelines ----

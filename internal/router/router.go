@@ -23,6 +23,71 @@ type Emitter struct {
 	Topo *device.Topology
 	P    *device.Placement
 	S    *schedule.Schedule
+
+	// Arena blocks backing the Qubits/Params slices of emitted ops, so
+	// emission costs one block allocation per ~hundreds of ops instead of
+	// one per op. Ops only ever read these slices after emission (they are
+	// length-capped, so even an append could not clobber a neighbour).
+	// Zero-valued Emitters lazily allocate their first block.
+	intBlock []int
+	f64Block []float64
+}
+
+// emitBlockInts sizes the arena blocks (in elements).
+const emitBlockInts = 512
+
+// ints returns a fresh length-capped arena slice of n ints.
+func (e *Emitter) ints(n int) []int {
+	if len(e.intBlock)+n > cap(e.intBlock) {
+		sz := emitBlockInts
+		if n > sz {
+			sz = n
+		}
+		e.intBlock = make([]int, 0, sz)
+	}
+	l := len(e.intBlock)
+	e.intBlock = e.intBlock[:l+n]
+	return e.intBlock[l : l+n : l+n]
+}
+
+// qubits1 / qubits2 build arena-backed operand lists.
+func (e *Emitter) qubits1(q int) []int {
+	s := e.ints(1)
+	s[0] = q
+	return s
+}
+
+func (e *Emitter) qubits2(a, b int) []int {
+	s := e.ints(2)
+	s[0], s[1] = a, b
+	return s
+}
+
+func (e *Emitter) qubitsCopy(qs []int) []int {
+	if len(qs) == 0 {
+		return nil
+	}
+	s := e.ints(len(qs))
+	copy(s, qs)
+	return s
+}
+
+func (e *Emitter) paramsCopy(ps []float64) []float64 {
+	if len(ps) == 0 {
+		return nil
+	}
+	if len(e.f64Block)+len(ps) > cap(e.f64Block) {
+		sz := emitBlockInts
+		if len(ps) > sz {
+			sz = len(ps)
+		}
+		e.f64Block = make([]float64, 0, sz)
+	}
+	l := len(e.f64Block)
+	e.f64Block = e.f64Block[:l+len(ps)]
+	s := e.f64Block[l : l+len(ps) : l+len(ps)]
+	copy(s, ps)
+	return s
 }
 
 // New builds an emitter over placement p, writing ops into a fresh schedule.
@@ -38,7 +103,7 @@ func (e *Emitter) EmitSwap(tr, i, j int) {
 	}
 	e.S.Append(schedule.Op{
 		Kind:     schedule.SwapGate,
-		Qubits:   []int{a, b},
+		Qubits:   e.qubits2(a, b),
 		Trap:     tr,
 		ChainLen: e.P.IonCount(tr),
 		IonDist:  e.P.IonsBetween(tr, i, j),
@@ -56,7 +121,7 @@ func (e *Emitter) EmitShift(tr, from, to int) {
 	}
 	e.S.Append(schedule.Op{
 		Kind:   schedule.Shift,
-		Qubits: []int{q},
+		Qubits: e.qubits1(q),
 		Trap:   tr,
 		SlotA:  from,
 		SlotB:  to,
@@ -73,22 +138,22 @@ func (e *Emitter) EmitShuttle(seg device.Segment, from int) (int, error) {
 	to := seg.Other(from)
 	q := e.P.At(from, e.P.EndSlot(from, seg.EndAt(from)))
 	e.S.Append(schedule.Op{
-		Kind: schedule.Split, Qubits: []int{q}, Trap: from, ChainLen: e.P.IonCount(from),
+		Kind: schedule.Split, Qubits: e.qubits1(q), Trap: from, ChainLen: e.P.IonCount(from),
 		SlotA: e.P.EndSlot(from, seg.EndAt(from)),
 	})
 	e.S.Append(schedule.Op{
-		Kind: schedule.Move, Qubits: []int{q}, Segment: seg.ID, Hops: seg.Hops,
+		Kind: schedule.Move, Qubits: e.qubits1(q), Segment: seg.ID, Hops: seg.Hops,
 	})
 	if seg.Junctions > 0 {
 		e.S.Append(schedule.Op{
-			Kind: schedule.JunctionCross, Qubits: []int{q}, Segment: seg.ID, Junctions: seg.Junctions,
+			Kind: schedule.JunctionCross, Qubits: e.qubits1(q), Segment: seg.ID, Junctions: seg.Junctions,
 		})
 	}
 	if _, err := e.P.Shuttle(seg, from); err != nil {
 		return 0, err
 	}
 	e.S.Append(schedule.Op{
-		Kind: schedule.Merge, Qubits: []int{q}, Trap: to, ChainLen: e.P.IonCount(to),
+		Kind: schedule.Merge, Qubits: e.qubits1(q), Trap: to, ChainLen: e.P.IonCount(to),
 	})
 	return q, nil
 }
@@ -249,15 +314,15 @@ func (e *Emitter) RouteToTrap(q, target int, avoid ...int) error {
 func (e *Emitter) ExecuteGate(g circuit.Gate) error {
 	switch {
 	case g.Name == "barrier":
-		e.S.Append(schedule.Op{Kind: schedule.Barrier, Qubits: append([]int(nil), g.Qubits...)})
+		e.S.Append(schedule.Op{Kind: schedule.Barrier, Qubits: e.qubitsCopy(g.Qubits)})
 	case g.Name == "measure":
 		l := e.P.Where(g.Qubits[0])
-		e.S.Append(schedule.Op{Kind: schedule.Measure, Qubits: []int{g.Qubits[0]}, Trap: l.Trap})
+		e.S.Append(schedule.Op{Kind: schedule.Measure, Qubits: e.qubits1(g.Qubits[0]), Trap: l.Trap})
 	case g.IsSingleQubit():
 		l := e.P.Where(g.Qubits[0])
 		e.S.Append(schedule.Op{
 			Kind: schedule.Gate1Q, Name: g.Name,
-			Qubits: []int{g.Qubits[0]}, Params: append([]float64(nil), g.Params...),
+			Qubits: e.qubits1(g.Qubits[0]), Params: e.paramsCopy(g.Params),
 			Trap: l.Trap, ChainLen: e.P.IonCount(l.Trap),
 		})
 	case g.IsTwoQubit():
@@ -267,7 +332,7 @@ func (e *Emitter) ExecuteGate(g circuit.Gate) error {
 		}
 		e.S.Append(schedule.Op{
 			Kind: schedule.Gate2Q, Name: g.Name,
-			Qubits: []int{g.Qubits[0], g.Qubits[1]}, Params: append([]float64(nil), g.Params...),
+			Qubits: e.qubits2(g.Qubits[0], g.Qubits[1]), Params: e.paramsCopy(g.Params),
 			Trap: l1.Trap, ChainLen: e.P.IonCount(l1.Trap),
 			IonDist: e.P.IonsBetween(l1.Trap, l1.Slot, l2.Slot),
 		})

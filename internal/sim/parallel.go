@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel gate application. Dense gate application is embarrassingly
+// parallel per amplitude pair: every base index (an index with the
+// gate's target bits clear) owns exactly the amplitudes it reads and
+// writes, and no other base index touches them. The index space is
+// therefore split into chunks handed out by an atomic cursor and
+// processed by a bounded pool of long-lived workers plus the calling
+// goroutine — the partitioning never changes which pair computes which
+// product, so parallel results are bit-identical to serial ones.
+//
+// Steady-state application is allocation-free: the per-apply job
+// descriptor is sync.Pool-recycled and workers are started once.
+
+// parallelMinAmps is the amplitude count below which a default-workers
+// state applies gates serially — fan-out overhead dominates under it.
+// States with an explicit SetWorkers(n>1) parallelize regardless, so
+// tests can exercise the parallel path on small states.
+const parallelMinAmps = 1 << 14
+
+// applyChunkTarget aims each participant at a handful of chunks, so a
+// descheduled worker costs a chunk of tail latency, not a whole share.
+const applyChunkTarget = 4
+
+// minChunkAmps keeps chunks large enough that the atomic cursor and
+// cache-line sharing at chunk borders stay noise.
+const minChunkAmps = 4096
+
+// defaultSimWorkers is the process-wide worker budget for states that
+// do not set their own: 0 selects GOMAXPROCS at apply time.
+var defaultSimWorkers atomic.Int32
+
+// SetDefaultWorkers sets the process-wide simulator worker budget used
+// by states without an explicit SetWorkers: n <= 0 restores the default
+// (GOMAXPROCS at apply time, i.e. parallel wherever the runtime is).
+// Services wire their -sim-workers flag here.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultSimWorkers.Store(int32(n))
+}
+
+// DefaultWorkers resolves the process-wide simulator worker budget.
+func DefaultWorkers() int {
+	if n := int(defaultSimWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides this state's worker budget: 0 means the process
+// default (SetDefaultWorkers/GOMAXPROCS, with the small-state serial
+// threshold), 1 forces serial application, n > 1 forces n-way parallel
+// application even below the threshold.
+func (s *State) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// effectiveWorkers resolves how many participants the next apply uses.
+// The size threshold and chunk-size cap apply only on the default path;
+// an explicit SetWorkers(n > 1) always parallelizes so tests can drive
+// the parallel machinery on small states.
+func (s *State) effectiveWorkers() int {
+	w := s.workers
+	if w != 0 {
+		return w
+	}
+	if len(s.amp) < parallelMinAmps {
+		return 1
+	}
+	w = DefaultWorkers()
+	if max := len(s.amp) / minChunkAmps; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Apply counters (process-wide, mirrored into ssync_sim_* metrics).
+var (
+	cParallelApplies atomic.Uint64
+	cSerialApplies   atomic.Uint64
+)
+
+// applyKind discriminates what an applyJob runs over its chunk.
+type applyKind uint8
+
+const (
+	kind1q applyKind = iota
+	kind2q
+	kindCCX
+	kindCSwap
+)
+
+// applyJob is one parallel gate application: the full gate description
+// plus the chunk cursor workers draw from. Recycled through jobPool so
+// steady-state application allocates nothing.
+type applyJob struct {
+	s    *State
+	kind applyKind
+	m1   [4]complex128
+	m2   [16]complex128
+	b1   int // qubit bit / control 1 / control
+	b2   int // second qubit bit / control 2 / swap a
+	b3   int // ccx target / swap b
+	wg   sync.WaitGroup
+
+	next  atomic.Int64
+	chunk int64
+	limit int64
+}
+
+var jobPool = sync.Pool{New: func() any { return new(applyJob) }}
+
+// run drains chunks until the cursor passes the limit. Every
+// participant — pool workers and the applying goroutine — executes this
+// same loop, so work balances no matter how many workers actually show
+// up.
+func (j *applyJob) run() {
+	for {
+		lo := j.next.Add(j.chunk) - j.chunk
+		if lo >= j.limit {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.limit {
+			hi = j.limit
+		}
+		switch j.kind {
+		case kind1q:
+			j.s.apply1Range(j.m1, j.b1, int(lo), int(hi))
+		case kind2q:
+			j.s.apply2Range(j.m2, j.b1, j.b2, int(lo), int(hi))
+		case kindCCX:
+			j.s.ccxRange(j.b1, j.b2, j.b3, int(lo), int(hi))
+		case kindCSwap:
+			j.s.cswapRange(j.b1, j.b2, j.b3, int(lo), int(hi))
+		}
+	}
+}
+
+// The worker pool: long-lived goroutines feeding on a buffered job
+// channel, started once on first parallel apply. The channel send is
+// non-blocking — when every worker is busy (concurrent verifies
+// saturating the pool) the applying goroutine simply keeps more chunks
+// for itself instead of queueing behind an unrelated state.
+var (
+	poolOnce sync.Once
+	workCh   chan *applyJob
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	workCh = make(chan *applyJob, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range workCh {
+				j.run()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// runParallel fans the job out to workers-1 pool participants and joins
+// the work itself, returning once every chunk is processed.
+func (s *State) runParallel(j *applyJob, workers int) {
+	poolOnce.Do(startPool)
+	total := int64(len(s.amp))
+	chunk := total / int64(workers*applyChunkTarget)
+	// Floor the chunk size on the default path; a forced-parallel state
+	// (explicit SetWorkers) splits however small the state is, so the
+	// equivalence tests genuinely interleave workers.
+	minChunk := int64(minChunkAmps)
+	if s.workers > 1 {
+		minChunk = 1
+	}
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	j.s = s
+	j.chunk = chunk
+	j.limit = total
+	j.next.Store(0)
+	for i := 0; i < workers-1; i++ {
+		j.wg.Add(1)
+		select {
+		case workCh <- j:
+		default:
+			// Pool saturated; run the rest on this goroutine.
+			j.wg.Done()
+			i = workers // break
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	j.s = nil
+	jobPool.Put(j)
+}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ssync/internal/circuit"
+	"ssync/internal/core"
+	"ssync/internal/device"
+	"ssync/internal/workloads"
+)
+
+// randomCircuit builds a random circuit over the full gate set the dense
+// simulator supports: every 1q/2q matrix gate plus ccx and cswap.
+func randomCircuit(r *rand.Rand, nq, gates int) *circuit.Circuit {
+	names1q := []string{"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg"}
+	rot1q := []string{"rx", "ry", "rz", "u1", "p"}
+	names2q := []string{"cx", "cz", "cy", "ch", "swap"}
+	rot2q := []string{"cp", "crx", "cry", "crz", "rzz", "rxx", "ryy"}
+
+	pick := func(k int) []int {
+		qs := r.Perm(nq)[:k]
+		return qs
+	}
+	c := circuit.NewCircuit(nq)
+	for i := 0; i < gates; i++ {
+		var g circuit.Gate
+		switch r.Intn(8) {
+		case 0:
+			g = circuit.New(names1q[r.Intn(len(names1q))], pick(1))
+		case 1:
+			g = circuit.New(rot1q[r.Intn(len(rot1q))], pick(1), r.Float64()*4-2)
+		case 2:
+			g = circuit.New("u2", pick(1), r.Float64()*4-2, r.Float64()*4-2)
+		case 3:
+			g = circuit.New("u3", pick(1), r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+		case 4:
+			g = circuit.New(names2q[r.Intn(len(names2q))], pick(2))
+		case 5:
+			g = circuit.New(rot2q[r.Intn(len(rot2q))], pick(2), r.Float64()*4-2)
+		case 6:
+			g = circuit.New("ccx", pick(3))
+		default:
+			g = circuit.New("cswap", pick(3))
+		}
+		if err := c.Append(g); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// Parallel application must be bit-identical to serial: every base index
+// owns its amplitude group, so chunking cannot change any float op.
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		nq := 3 + r.Intn(8) // 3..10 qubits, well below the size threshold
+		c := randomCircuit(r, nq, 30+r.Intn(40))
+		seed := int64(trial)
+
+		serial, err := RandomProductState(nq, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.SetWorkers(1)
+		if err := serial.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+
+		workers := 2 + r.Intn(7) // random worker count, forced parallel
+		par, err := RandomProductState(nq, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.SetWorkers(workers)
+		if err := par.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < 1<<nq; i++ {
+			if serial.Amplitude(i) != par.Amplitude(i) {
+				t.Fatalf("trial %d (%d qubits, %d workers): amp[%d] serial %v != parallel %v",
+					trial, nq, workers, i, serial.Amplitude(i), par.Amplitude(i))
+			}
+		}
+	}
+}
+
+// Above the size threshold a default-workers state picks the parallel
+// path on multi-core runtimes; results must still match serial exactly.
+func TestParallelLargeStateMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-state equivalence skipped in -short")
+	}
+	r := rand.New(rand.NewSource(23))
+	nq := 15 // 32768 amps, past parallelMinAmps
+	c := randomCircuit(r, nq, 40)
+
+	serial, err := RandomProductState(nq, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.SetWorkers(1)
+	if err := serial.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := RandomProductState(nq, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(8)
+	if err := par.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.amp {
+		if serial.amp[i] != par.amp[i] {
+			t.Fatalf("amp[%d]: serial %v != parallel %v", i, serial.amp[i], par.amp[i])
+		}
+	}
+}
+
+func TestSetWorkersResolution(t *testing.T) {
+	s, err := NewState(4) // 16 amps, far below the threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s.effectiveWorkers(); w != 1 {
+		t.Errorf("small default state resolved %d workers, want 1 (serial)", w)
+	}
+	s.SetWorkers(6)
+	if w := s.effectiveWorkers(); w < 2 {
+		t.Errorf("explicit SetWorkers(6) resolved %d workers, want parallel", w)
+	}
+	s.SetWorkers(1)
+	if w := s.effectiveWorkers(); w != 1 {
+		t.Errorf("SetWorkers(1) resolved %d workers, want 1", w)
+	}
+
+	old := DefaultWorkers()
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("DefaultWorkers after SetDefaultWorkers(3) = %d", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got < 1 {
+		t.Errorf("DefaultWorkers after reset = %d", got)
+	}
+	_ = old
+}
+
+// Concurrent verifies sharing one cache must simulate the reference
+// exactly once (single-flight) and all succeed. Run under -race this is
+// also the data-race check for the shared reference and the worker pool.
+func TestRefCacheSingleFlightConcurrent(t *testing.T) {
+	topo := device.Grid(2, 2, 6)
+	src := workloads.QFT(8)
+	res, err := core.Compile(core.DefaultConfig(), src, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewRefCache(0)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cache.Verify(src, res.Schedule, 42)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("reference simulated %d times for %d concurrent verifies, want 1", st.Misses, goroutines)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if st.Bytes != 2*(1<<8)*16 {
+		t.Errorf("bytes = %d, want %d", st.Bytes, 2*(1<<8)*16)
+	}
+}
+
+// The cached-reference verify must agree with the from-scratch one, and
+// distinct circuits/seeds must key separately.
+func TestRefCacheKeying(t *testing.T) {
+	topo := device.Grid(2, 2, 6)
+	cache := NewRefCache(0)
+	for i, src := range []*circuit.Circuit{workloads.BV(6), workloads.QFT(6)} {
+		res, err := core.Compile(core.DefaultConfig(), src, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 2; seed++ {
+			if err := VerifySchedule(src, res.Schedule, seed); err != nil {
+				t.Fatalf("fresh verify: %v", err)
+			}
+			if err := cache.Verify(src, res.Schedule, seed); err != nil {
+				t.Fatalf("cached verify: %v", err)
+			}
+		}
+		want := uint64(2 * (i + 1))
+		if st := cache.Stats(); st.Misses != want {
+			t.Fatalf("after circuit %d: misses = %d, want %d (distinct (circuit, seed) pairs)", i, st.Misses, want)
+		}
+	}
+	// Same circuit content in a different *Circuit value hits the cache.
+	again := workloads.BV(6)
+	if _, err := cache.Get(again, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 4 {
+		t.Errorf("content-identical circuit missed: misses = %d, want 4", st.Misses)
+	}
+}
+
+// Build failures (non-unitary circuits) must not be cached: each Get
+// retries, and the cache holds no entry for them.
+func TestRefCacheErrorsNotCached(t *testing.T) {
+	cache := NewRefCache(0)
+	c := circuit.NewCircuit(2)
+	c.H(0).Measure(0)
+	for i := 0; i < 2; i++ {
+		if _, err := cache.Get(c, 1); err == nil {
+			t.Fatal("expected error for non-unitary circuit")
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (errors retry)", st.Misses)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("failed builds left %d entries / %d bytes in the cache", st.Entries, st.Bytes)
+	}
+}
+
+// The cache must stay under its byte bound, evicting least-recently-used
+// references.
+func TestRefCacheEviction(t *testing.T) {
+	// Room for two 6-qubit references (2 states × 64 amps × 16 B = 2048 B).
+	src := circuit.NewCircuit(6)
+	src.H(0).CX(0, 1).CX(1, 2).CX(2, 3).CX(3, 4).CX(4, 5)
+	cache := NewRefCache(2 * 2048)
+	for seed := int64(0); seed < 5; seed++ {
+		if _, err := cache.Get(src, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 after eviction", st.Entries)
+	}
+	if st.Bytes > 2*2048 {
+		t.Errorf("bytes = %d exceeds bound %d", st.Bytes, 2*2048)
+	}
+	// Seed 4 is the most recent; it must still be cached.
+	before := cache.Stats().Misses
+	if _, err := cache.Get(src, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Misses; got != before {
+		t.Errorf("most-recent entry was evicted (misses %d -> %d)", before, got)
+	}
+}
+
+// VerifySchedule through a shared reference must still reject schedules
+// that diverge from the source circuit.
+func TestRefCacheVerifyCatchesDivergence(t *testing.T) {
+	topo := device.Grid(2, 2, 6)
+	src := workloads.BV(6)
+	res, err := core.Compile(core.DefaultConfig(), src, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := workloads.QFT(6)
+	cache := NewRefCache(0)
+	if err := cache.Verify(wrong, res.Schedule, 7); err == nil {
+		t.Fatal("verify accepted a schedule compiled from a different circuit")
+	}
+}
+
+func BenchmarkStateVecApply(b *testing.B) {
+	for _, nq := range []int{16, 18} {
+		for _, workers := range []int{1, 0} {
+			mode := "serial"
+			if workers == 0 {
+				mode = "default"
+			}
+			b.Run(fmt.Sprintf("q%d/%s", nq, mode), func(b *testing.B) {
+				s, err := NewState(nq)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetWorkers(workers)
+				h := circuit.New("h", []int{nq / 2})
+				cx := circuit.New("cx", []int{0, nq - 1})
+				b.SetBytes(int64(16 << uint(nq)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Apply(h); err != nil {
+						b.Fatal(err)
+					}
+					if err := s.Apply(cx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkVerifyScheduleParallel measures the full verify path on an
+// 18-qubit compiled schedule: "fresh" re-simulates the reference every
+// iteration (the old VerifySchedule behaviour), "shared" resolves it
+// from a warm RefCache and only replays the schedule — the portfolio
+// steady state.
+func BenchmarkVerifyScheduleParallel(b *testing.B) {
+	topo := device.Grid(3, 3, 6)
+	src := workloads.QFT(18)
+	res, err := core.Compile(core.DefaultConfig(), src, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := VerifySchedule(src, res.Schedule, 42); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		cache := NewRefCache(0)
+		if _, err := cache.Get(src, 42); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cache.Verify(src, res.Schedule, 42); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -21,6 +21,11 @@ const MaxStateQubits = 22
 type State struct {
 	n   int
 	amp []complex128
+
+	// workers is this state's gate-application budget: 0 uses the
+	// process default (see SetDefaultWorkers), 1 forces serial, n > 1
+	// forces n-way parallel application. Set via SetWorkers.
+	workers int
 }
 
 // NewState returns |0...0> over n qubits.
@@ -39,15 +44,41 @@ func (s *State) NumQubits() int { return s.n }
 // Amplitude returns amplitude i.
 func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state (including its worker budget).
 func (s *State) Clone() *State {
-	return &State{n: s.n, amp: append([]complex128(nil), s.amp...)}
+	return &State{n: s.n, amp: append([]complex128(nil), s.amp...), workers: s.workers}
+}
+
+// copyFrom overwrites this state's amplitudes with src's, reusing the
+// existing backing array when it is large enough.
+func (s *State) copyFrom(src *State) {
+	s.n = src.n
+	if cap(s.amp) >= len(src.amp) {
+		s.amp = s.amp[:len(src.amp)]
+	} else {
+		s.amp = make([]complex128, len(src.amp))
+	}
+	copy(s.amp, src.amp)
 }
 
 // apply1 applies the 2×2 matrix m to qubit q.
 func (s *State) apply1(m [4]complex128, q int) {
-	bit := 1 << uint(q)
-	for i := 0; i < len(s.amp); i++ {
+	if w := s.effectiveWorkers(); w > 1 {
+		cParallelApplies.Add(1)
+		j := jobPool.Get().(*applyJob)
+		j.kind, j.m1, j.b1 = kind1q, m, 1<<uint(q)
+		s.runParallel(j, w)
+		return
+	}
+	cSerialApplies.Add(1)
+	s.apply1Range(m, 1<<uint(q), 0, len(s.amp))
+}
+
+// apply1Range applies m to qubit bit `bit` over amplitude indices
+// [lo, hi). Indices with the bit set are skipped, so any partition of
+// the index space computes exactly the serial result.
+func (s *State) apply1Range(m [4]complex128, bit, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		if i&bit != 0 {
 			continue
 		}
@@ -61,8 +92,21 @@ func (s *State) apply1(m [4]complex128, q int) {
 // apply2 applies the 4×4 matrix m to qubits (a, b); the row/column index
 // is bitA*2 + bitB.
 func (s *State) apply2(m [16]complex128, a, b int) {
+	if w := s.effectiveWorkers(); w > 1 {
+		cParallelApplies.Add(1)
+		j := jobPool.Get().(*applyJob)
+		j.kind, j.m2, j.b1, j.b2 = kind2q, m, a, b
+		s.runParallel(j, w)
+		return
+	}
+	cSerialApplies.Add(1)
+	s.apply2Range(m, a, b, 0, len(s.amp))
+}
+
+// apply2Range applies m to qubits (a, b) over amplitude indices [lo, hi).
+func (s *State) apply2Range(m [16]complex128, a, b, lo, hi int) {
 	bitA, bitB := 1<<uint(a), 1<<uint(b)
-	for i := 0; i < len(s.amp); i++ {
+	for i := lo; i < hi; i++ {
 		if i&bitA != 0 || i&bitB != 0 {
 			continue
 		}
@@ -259,8 +303,22 @@ func (s *State) Apply(g circuit.Gate) error {
 
 // applyCCX flips the target bit on amplitudes with both controls set.
 func (s *State) applyCCX(c1, c2, t int) {
+	if w := s.effectiveWorkers(); w > 1 {
+		cParallelApplies.Add(1)
+		j := jobPool.Get().(*applyJob)
+		j.kind, j.b1, j.b2, j.b3 = kindCCX, c1, c2, t
+		s.runParallel(j, w)
+		return
+	}
+	cSerialApplies.Add(1)
+	s.ccxRange(c1, c2, t, 0, len(s.amp))
+}
+
+// ccxRange is applyCCX over amplitude indices [lo, hi). Each swap is
+// owned by the index with the target bit clear, so partitions are safe.
+func (s *State) ccxRange(c1, c2, t, lo, hi int) {
 	b1, b2, bt := 1<<uint(c1), 1<<uint(c2), 1<<uint(t)
-	for i := range s.amp {
+	for i := lo; i < hi; i++ {
 		if i&b1 != 0 && i&b2 != 0 && i&bt == 0 {
 			j := i | bt
 			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
@@ -270,8 +328,22 @@ func (s *State) applyCCX(c1, c2, t int) {
 
 // applyCSwap exchanges bits a and b on amplitudes with the control set.
 func (s *State) applyCSwap(c, a, b int) {
+	if w := s.effectiveWorkers(); w > 1 {
+		cParallelApplies.Add(1)
+		j := jobPool.Get().(*applyJob)
+		j.kind, j.b1, j.b2, j.b3 = kindCSwap, c, a, b
+		s.runParallel(j, w)
+		return
+	}
+	cSerialApplies.Add(1)
+	s.cswapRange(c, a, b, 0, len(s.amp))
+}
+
+// cswapRange is applyCSwap over amplitude indices [lo, hi). The swap is
+// owned by the index with bit a set and bit b clear.
+func (s *State) cswapRange(c, a, b, lo, hi int) {
 	bc, ba, bb := 1<<uint(c), 1<<uint(a), 1<<uint(b)
-	for i := range s.amp {
+	for i := lo; i < hi; i++ {
 		if i&bc != 0 && i&ba != 0 && i&bb == 0 {
 			j := i&^ba | bb
 			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"ssync/internal/circuit"
 	"ssync/internal/schedule"
@@ -14,43 +13,18 @@ import (
 // untouched) on a random product input must reproduce the state the source
 // circuit produces, up to global phase. Works for unitary circuits of at
 // most MaxStateQubits qubits.
+//
+// The reference simulation is rebuilt on every call; callers verifying
+// many schedules against one source circuit (portfolios, route variants)
+// should go through a RefCache — e.g. SharedRefs.Verify — which simulates
+// the reference once, or hold a NewReference and replay against it.
 func VerifySchedule(src *circuit.Circuit, sched *schedule.Schedule, seed int64) error {
 	if src.NumQubits != sched.NumQubits {
 		return fmt.Errorf("sim: circuit has %d qubits, schedule %d", src.NumQubits, sched.NumQubits)
 	}
-	if src.NumQubits > MaxStateQubits {
-		return fmt.Errorf("sim: %d qubits exceeds the dense simulator limit %d", src.NumQubits, MaxStateQubits)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	want, err := RandomProductState(src.NumQubits, rng)
+	ref, err := NewReference(src, seed)
 	if err != nil {
 		return err
 	}
-	got := want.Clone()
-
-	basis := src.DecomposeToBasis()
-	for _, g := range basis.Gates {
-		if g.Name == "measure" || g.Name == "reset" {
-			return fmt.Errorf("sim: VerifySchedule requires a unitary circuit (found %q)", g.Name)
-		}
-		if err := want.Apply(g); err != nil {
-			return err
-		}
-	}
-	for _, op := range sched.LogicalGates() {
-		switch op.Kind {
-		case schedule.Measure:
-			return fmt.Errorf("sim: VerifySchedule requires a unitary schedule (found measure)")
-		case schedule.Barrier:
-			continue
-		}
-		g := circuit.Gate{Name: op.Name, Qubits: op.Qubits, Params: op.Params}
-		if err := got.Apply(g); err != nil {
-			return err
-		}
-	}
-	if ov := Overlap(want, got); ov < 1-1e-7 {
-		return fmt.Errorf("sim: schedule diverges from source circuit (overlap %.9f)", ov)
-	}
-	return nil
+	return ref.VerifySchedule(sched)
 }
